@@ -1,0 +1,61 @@
+// Command dbsbench regenerates the paper's tables and figures. Each
+// experiment id corresponds to one artifact of the evaluation section;
+// see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-versus-measured results.
+//
+// Usage:
+//
+//	dbsbench -list
+//	dbsbench -exp fig4a
+//	dbsbench -all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		quick = flag.Bool("quick", false, "reduced workload sizes")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-18s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *exp != "":
+		ids = []string{*exp}
+	default:
+		fmt.Fprintln(os.Stderr, "dbsbench: need -exp <id>, -all, or -list")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tb, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbsbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tb.ID = id
+		tb.Title = experiments.Title(id)
+		fmt.Println(tb.String())
+		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,70 @@
+// Outliers: the §3.2 workflow. Plant isolated points among clusters, use
+// the single-pass estimator to (1) cheaply estimate how many DB(p,k)
+// outliers exist for several parameter settings, then (2) run the
+// two-pass approximate detector and compare it with the exact kd-tree
+// baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	rng := repro.NewRNG(3)
+
+	var pts []repro.Point
+	for _, c := range [][2]float64{{0.2, 0.2}, {0.7, 0.3}, {0.4, 0.7}} {
+		for i := 0; i < 15000; i++ {
+			pts = append(pts, repro.Point{c[0] + 0.12*rng.Float64(), c[1] + 0.12*rng.Float64()})
+		}
+	}
+	// Twelve isolated points, well away from every cluster.
+	planted := []repro.Point{
+		{0.02, 0.60}, {0.05, 0.95}, {0.35, 0.02}, {0.62, 0.97},
+		{0.95, 0.05}, {0.97, 0.60}, {0.80, 0.85}, {0.02, 0.02},
+		{0.97, 0.97}, {0.92, 0.22}, {0.05, 0.40}, {0.25, 0.97},
+	}
+	pts = append(pts, planted...)
+	ds, err := repro.FromPoints(pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	est, err := repro.BuildEstimator(ds, repro.EstimatorOptions{}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One cheap pass per parameter setting: how many outliers would each
+	// (k, p) yield? This is the parameter-exploration mode of §3.2.
+	fmt.Println("single-pass outlier-count estimates:")
+	for _, prm := range []repro.OutlierParams{
+		{K: 0.02, P: 1}, {K: 0.03, P: 1}, {K: 0.03, P: 5}, {K: 0.05, P: 1},
+	} {
+		n, err := repro.EstimateOutlierCount(ds, est, prm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%.2f p=%d -> ~%d outliers\n", prm.K, prm.P, n)
+	}
+
+	// Full detection at the chosen setting.
+	prm := repro.OutlierParams{K: 0.03, P: 1}
+	exact, err := repro.FindOutliers(pts, prm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	approx, err := repro.FindOutliersApprox(ds, est, prm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexact detector:  %d outliers\n", len(exact))
+	fmt.Printf("approx detector: %d outliers from %d candidates in %d data passes\n",
+		len(approx.Outliers), approx.NumCandidates, approx.DataPasses)
+	for _, o := range approx.Outliers {
+		fmt.Printf("  %v\n", o)
+	}
+}

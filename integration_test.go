@@ -1,0 +1,201 @@
+package repro
+
+// Cross-module integration tests: the end-to-end pass budgets the paper
+// claims, determinism of full pipelines, and Horvitz-Thompson consistency
+// between biased samples and the underlying data.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// passCounter wraps a Dataset and exposes the pass count.
+func countingDataset(t *testing.T, pts []Point) *dataset.InMemory {
+	t.Helper()
+	ds, err := dataset.NewInMemory(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// The paper's end-to-end pass budget for approximate clustering:
+// 1 pass to build the estimator + 2 passes to sample exactly (or 1
+// integrated), everything after that touches only the sample.
+func TestIntegrationClusteringPassBudget(t *testing.T) {
+	rng := NewRNG(100)
+	ds := countingDataset(t, facadePoints(rng))
+
+	est, err := BuildEstimator(ds, EstimatorOptions{NumKernels: 200}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Passes() != 1 {
+		t.Fatalf("estimator build: %d passes", ds.Passes())
+	}
+	s, err := BiasedSample(ds, est, SampleOptions{Alpha: 1, Size: 400}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Passes() != 3 {
+		t.Fatalf("after exact sampling: %d passes, want 3", ds.Passes())
+	}
+	if _, err := ClusterSample(s.Points(), ClusterOptions{K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Passes() != 3 {
+		t.Fatalf("clustering touched the dataset: %d passes", ds.Passes())
+	}
+
+	// One-pass variant: 1 + 1.
+	ds2 := countingDataset(t, facadePoints(NewRNG(100)))
+	est2, err := BuildEstimator(ds2, EstimatorOptions{NumKernels: 200}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BiasedSample(ds2, est2, SampleOptions{Alpha: 1, Size: 400, OnePass: true}, rng); err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Passes() != 2 {
+		t.Fatalf("one-pass pipeline: %d passes, want 2", ds2.Passes())
+	}
+}
+
+// The outlier pipeline budget: 1 estimator pass + 1 scoring pass + 1
+// verification pass, matching §4.5.
+func TestIntegrationOutlierPassBudget(t *testing.T) {
+	rng := NewRNG(101)
+	pts := facadePoints(rng)
+	pts = append(pts, Point{0.95, 0.02})
+	ds := countingDataset(t, pts)
+	est, err := BuildEstimator(ds, EstimatorOptions{NumKernels: 200}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindOutliersApprox(ds, est, OutlierParams{K: 0.04, P: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Passes(); got != 3 {
+		t.Fatalf("outlier pipeline: %d total passes, want 3", got)
+	}
+}
+
+// Same seed ⇒ identical sample, clusters, and outliers.
+func TestIntegrationDeterminism(t *testing.T) {
+	run := func() ([]Point, []Cluster) {
+		rng := NewRNG(777)
+		ds := countingDataset(t, facadePoints(NewRNG(42)))
+		est, err := BuildEstimator(ds, EstimatorOptions{NumKernels: 150}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := BiasedSample(ds, est, SampleOptions{Alpha: 0.5, Size: 300}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters, err := ClusterSample(s.Points(), ClusterOptions{K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Points(), clusters
+	}
+	p1, c1 := run()
+	p2, c2 := run()
+	if len(p1) != len(p2) {
+		t.Fatalf("sample sizes differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if !p1[i].Equal(p2[i]) {
+			t.Fatalf("sample point %d differs", i)
+		}
+	}
+	if len(c1) != len(c2) {
+		t.Fatalf("cluster counts differ")
+	}
+	for i := range c1 {
+		if c1[i].Size() != c2[i].Size() || !c1[i].Mean.Equal(c2[i].Mean) {
+			t.Fatalf("cluster %d differs", i)
+		}
+	}
+}
+
+// Horvitz-Thompson: the weighted sample is an unbiased surrogate for the
+// dataset — Σ weights estimates n and the weighted mean estimates the
+// data mean, across bias exponents.
+func TestIntegrationHorvitzThompson(t *testing.T) {
+	basePts := facadePoints(NewRNG(5))
+	var trueMean [2]float64
+	for _, p := range basePts {
+		trueMean[0] += p[0]
+		trueMean[1] += p[1]
+	}
+	trueMean[0] /= float64(len(basePts))
+	trueMean[1] /= float64(len(basePts))
+
+	for _, alpha := range []float64{-0.5, 0, 0.5, 1} {
+		rng := NewRNG(300)
+		ds := countingDataset(t, basePts)
+		est, err := BuildEstimator(ds, EstimatorOptions{NumKernels: 300}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Average over several draws to tame sampling variance.
+		var sumW, wx, wy float64
+		const draws = 5
+		for d := 0; d < draws; d++ {
+			s, err := BiasedSample(ds, est, SampleOptions{Alpha: alpha, Size: 800}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, wp := range s.Weighted() {
+				sumW += wp.W
+				wx += wp.W * wp.P[0]
+				wy += wp.W * wp.P[1]
+			}
+		}
+		n := float64(len(basePts)) * draws
+		if math.Abs(sumW-n)/n > 0.15 {
+			t.Errorf("alpha=%v: Σ weights = %v, want ~%v", alpha, sumW, n)
+		}
+		gotX, gotY := wx/sumW, wy/sumW
+		if math.Abs(gotX-trueMean[0]) > 0.05 || math.Abs(gotY-trueMean[1]) > 0.05 {
+			t.Errorf("alpha=%v: weighted mean (%v, %v), want (%v, %v)",
+				alpha, gotX, gotY, trueMean[0], trueMean[1])
+		}
+	}
+}
+
+// The complete flow survives a disk round trip: generate → save → open
+// file-backed → estimate → sample → cluster.
+func TestIntegrationFileBackedPipeline(t *testing.T) {
+	rng := NewRNG(9)
+	mem := countingDataset(t, facadePoints(rng))
+	path := t.TempDir() + "/pipe.dbs"
+	if err := SaveBinary(path, mem); err != nil {
+		t.Fatal(err)
+	}
+	fb, err := OpenBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := BuildEstimator(fb, EstimatorOptions{NumKernels: 150}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BiasedSample(fb, est, SampleOptions{Alpha: 1, Size: 300}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := ClusterSample(s.Points(), ClusterOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("file-backed pipeline produced %d clusters", len(clusters))
+	}
+	if fb.Passes() != 3 {
+		t.Errorf("file-backed pipeline used %d passes, want 3", fb.Passes())
+	}
+}

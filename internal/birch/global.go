@@ -1,0 +1,94 @@
+package birch
+
+import "math"
+
+// globalCluster agglomerates the leaf CF entries into k clusters using
+// weighted centroid linkage — BIRCH's phase-3 global clustering adapted to
+// clustering features: merging two entries merges their CFs, and the
+// distance between entries is the distance between centroids.
+func globalCluster(leaves []CF, k int) []Summary {
+	type wc struct {
+		cf    CF
+		nn    int
+		nnD   float64
+		alive bool
+	}
+	ws := make([]wc, len(leaves))
+	for i, cf := range leaves {
+		ws[i] = wc{cf: cf, alive: true}
+	}
+	alive := len(ws)
+
+	recompute := func(i int) {
+		ws[i].nn, ws[i].nnD = -1, math.Inf(1)
+		ci := ws[i].cf.Centroid()
+		for j := range ws {
+			if j == i || !ws[j].alive {
+				continue
+			}
+			d := sqDistToCentroid(ci, &ws[j].cf)
+			if d < ws[i].nnD {
+				ws[i].nn, ws[i].nnD = j, d
+			}
+		}
+	}
+	for i := range ws {
+		recompute(i)
+	}
+
+	for alive > k {
+		bi, bd := -1, math.Inf(1)
+		for i := range ws {
+			if ws[i].alive && ws[i].nnD < bd {
+				bi, bd = i, ws[i].nnD
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		bj := ws[bi].nn
+		ws[bi].cf.Merge(ws[bj].cf)
+		ws[bj].alive = false
+		alive--
+
+		// Restore invariants in one scan, mirroring internal/cure.
+		ws[bi].nn, ws[bi].nnD = -1, math.Inf(1)
+		ci := ws[bi].cf.Centroid()
+		var stale []int
+		for c := range ws {
+			if c == bi || !ws[c].alive {
+				continue
+			}
+			d := sqDistToCentroid(ci, &ws[c].cf)
+			if d < ws[bi].nnD {
+				ws[bi].nn, ws[bi].nnD = c, d
+			}
+			w := &ws[c]
+			if w.nn == bi || w.nn == bj {
+				if d <= w.nnD {
+					w.nn, w.nnD = bi, d
+				} else {
+					stale = append(stale, c)
+				}
+			} else if d < w.nnD {
+				w.nn, w.nnD = bi, d
+			}
+		}
+		for _, c := range stale {
+			recompute(c)
+		}
+	}
+
+	var out []Summary
+	for i := range ws {
+		if !ws[i].alive {
+			continue
+		}
+		out = append(out, Summary{
+			N:        ws[i].cf.N,
+			Centroid: ws[i].cf.Centroid(),
+			Radius:   ws[i].cf.Radius(),
+		})
+	}
+	return out
+}

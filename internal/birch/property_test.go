@@ -1,0 +1,93 @@
+package birch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func cleanCoord(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e3)
+}
+
+// Property: merging CFs is commutative — (A ∪ B) and (B ∪ A) summarize the
+// same set.
+func TestPropCFMergeCommutative(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a1 := NewCF(geom.Point{cleanCoord(ax), cleanCoord(ay)})
+		b1 := NewCF(geom.Point{cleanCoord(bx), cleanCoord(by)})
+		a2 := NewCF(geom.Point{cleanCoord(ax), cleanCoord(ay)})
+		b2 := NewCF(geom.Point{cleanCoord(bx), cleanCoord(by)})
+		a1.Merge(b1)
+		b2.Merge(a2)
+		return a1.N == b2.N &&
+			math.Abs(a1.SS-b2.SS) < 1e-9*(1+math.Abs(a1.SS)) &&
+			a1.LS.Equal(b2.LS)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: building a CF point-by-point equals merging per-point CFs in
+// any split order (associativity over a concrete partition).
+func TestPropCFMergeAssociative(t *testing.T) {
+	f := func(coords []float64, splitRaw uint8) bool {
+		// Build a clean 2-D point list from the fuzz input.
+		var pts []geom.Point
+		for i := 0; i+1 < len(coords); i += 2 {
+			pts = append(pts, geom.Point{cleanCoord(coords[i]), cleanCoord(coords[i+1])})
+		}
+		if len(pts) < 2 {
+			return true
+		}
+		split := int(splitRaw) % len(pts)
+		if split == 0 {
+			split = 1
+		}
+		var whole CF
+		for _, p := range pts {
+			whole.Add(p)
+		}
+		var left, right CF
+		for _, p := range pts[:split] {
+			left.Add(p)
+		}
+		for _, p := range pts[split:] {
+			right.Add(p)
+		}
+		left.Merge(right)
+		return whole.N == left.N &&
+			math.Abs(whole.SS-left.SS) < 1e-6*(1+math.Abs(whole.SS)) &&
+			geom.Distance(whole.LS, left.LS) < 1e-6*(1+whole.LS.Norm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the radius of a merged CF is at least the distance structure
+// allows — merging two separated singletons yields radius = half their
+// distance, and radius is always non-negative and finite.
+func TestPropCFRadiusSane(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		pa := geom.Point{cleanCoord(ax), cleanCoord(ay)}
+		pb := geom.Point{cleanCoord(bx), cleanCoord(by)}
+		a := NewCF(pa)
+		a.Merge(NewCF(pb))
+		r := a.Radius()
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			return false
+		}
+		want := geom.Distance(pa, pb) / 2
+		return math.Abs(r-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,379 @@
+// Package cure implements the hierarchical agglomerative clustering
+// algorithm of §3.1, modelled on CURE (Guha, Rastogi, Shim — SIGMOD 1998):
+// every cluster is summarized by a set of well-scattered representative
+// points shrunk toward the cluster mean by a shrink factor α, the distance
+// between clusters is the minimum distance between their representatives,
+// and the closest pair is merged until K clusters remain.
+//
+// As in the paper's experiments (§4.2), the defaults are α = 0.3 and 10
+// representatives, with a single partition. The algorithm is quadratic in
+// the number of input points — which is exactly why the paper runs it on a
+// small (biased) sample rather than the full dataset, and what Fig. 2
+// measures.
+//
+// A light-weight outlier-elimination phase (as in CURE §4.1) is available
+// through TrimAt/TrimMinSize: when the number of live clusters first drops
+// to TrimAt, clusters with fewer than TrimMinSize members are discarded as
+// noise. Samples drawn with a ≥ 0 bias contain little noise and rarely
+// need it; uniform samples of noisy datasets do.
+package cure
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+)
+
+// Options configure one clustering run.
+type Options struct {
+	// K is the number of clusters to produce. Required.
+	K int
+
+	// NumReps is the number of representative points per cluster
+	// (default 10, the paper's setting).
+	NumReps int
+
+	// Shrink is the shrink factor α toward the cluster mean
+	// (default 0.3, the paper's setting).
+	Shrink float64
+
+	// TrimAt, when positive, triggers one outlier-elimination pass when
+	// the live cluster count first reaches it: clusters with fewer than
+	// TrimMinSize members are dropped. CURE's first elimination phase
+	// fires when the cluster count reaches about one third of the input
+	// points, removing 1-2 point clusters — isolated noise — before they
+	// can chain distinct clusters together.
+	TrimAt int
+
+	// TrimMinSize is the member-count threshold for the trim pass
+	// (default 3 when TrimAt is set).
+	TrimMinSize int
+
+	// FinalTrimAt/FinalTrimMinSize optionally run a second, more
+	// aggressive elimination near the end of the merge sequence,
+	// mirroring CURE's second phase (small groups of residual noise).
+	FinalTrimAt      int
+	FinalTrimMinSize int
+}
+
+// Cluster is one output cluster.
+type Cluster struct {
+	// Members holds indices into the input point slice.
+	Members []int
+	// Reps are the shrunk representative points summarizing the
+	// cluster's shape.
+	Reps []geom.Point
+	// Mean is the centroid of the members.
+	Mean geom.Point
+}
+
+// Size returns the number of members.
+func (c *Cluster) Size() int { return len(c.Members) }
+
+type work struct {
+	members []int32
+	mean    geom.Point
+	reps    []geom.Point
+	nn      int     // index of nearest live cluster
+	nnD     float64 // squared min-rep distance to nn
+	alive   bool
+}
+
+// Run clusters pts into opts.K clusters. It returns an error for invalid
+// options or empty input. When K ≥ len(pts), each point forms its own
+// cluster.
+func Run(pts []geom.Point, opts Options) ([]Cluster, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("cure: no points")
+	}
+	if opts.K <= 0 {
+		return nil, errors.New("cure: K must be positive")
+	}
+	numReps := opts.NumReps
+	if numReps == 0 {
+		numReps = 10
+	}
+	if numReps < 1 {
+		return nil, errors.New("cure: NumReps must be positive")
+	}
+	shrink := opts.Shrink
+	if shrink == 0 {
+		shrink = 0.3
+	}
+	if shrink < 0 || shrink > 1 {
+		return nil, errors.New("cure: Shrink must be in [0,1]")
+	}
+	trimMin := opts.TrimMinSize
+	if opts.TrimAt > 0 && trimMin == 0 {
+		trimMin = 3
+	}
+	finalTrimMin := opts.FinalTrimMinSize
+	if opts.FinalTrimAt > 0 && finalTrimMin == 0 {
+		finalTrimMin = 3
+	}
+
+	n := len(pts)
+	ws := make([]work, n)
+	for i, p := range pts {
+		ws[i] = work{
+			members: []int32{int32(i)},
+			mean:    p.Clone(),
+			reps:    []geom.Point{p},
+			alive:   true,
+		}
+	}
+	alive := n
+
+	// Initial nearest neighbours: O(n²) singleton distances.
+	for i := range ws {
+		ws[i].nn, ws[i].nnD = -1, math.Inf(1)
+		for j := range ws {
+			if i == j {
+				continue
+			}
+			if d := geom.SquaredDistance(ws[i].mean, ws[j].mean); d < ws[i].nnD {
+				ws[i].nn, ws[i].nnD = j, d
+			}
+		}
+	}
+
+	trimmed := opts.TrimAt <= 0 // no trim requested ⇒ treat as done
+	finalTrimmed := opts.FinalTrimAt <= 0
+	for alive > opts.K {
+		if !trimmed && alive <= opts.TrimAt {
+			removed := trim(ws, trimMin)
+			alive -= removed
+			trimmed = true
+			if removed > 0 {
+				repairNN(ws)
+			}
+			if alive <= opts.K {
+				break
+			}
+		}
+		if trimmed && !finalTrimmed && alive <= opts.FinalTrimAt {
+			removed := trim(ws, finalTrimMin)
+			alive -= removed
+			finalTrimmed = true
+			if removed > 0 {
+				repairNN(ws)
+			}
+			if alive <= opts.K {
+				break
+			}
+		}
+
+		// Closest live pair via cached nearest neighbours.
+		bi := -1
+		bd := math.Inf(1)
+		for i := range ws {
+			if ws[i].alive && ws[i].nnD < bd {
+				bi, bd = i, ws[i].nnD
+			}
+		}
+		if bi < 0 {
+			break // only isolated clusters remain
+		}
+		bj := ws[bi].nn
+		merge(pts, ws, bi, bj, numReps, shrink)
+		alive--
+	}
+
+	out := make([]Cluster, 0, alive)
+	for i := range ws {
+		if !ws[i].alive {
+			continue
+		}
+		c := Cluster{
+			Members: make([]int, len(ws[i].members)),
+			Reps:    ws[i].reps,
+			Mean:    ws[i].mean,
+		}
+		for k, m := range ws[i].members {
+			c.Members[k] = int(m)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// merge folds cluster j into cluster i, rebuilds i's summary, and restores
+// the nearest-neighbour invariants.
+func merge(pts []geom.Point, ws []work, i, j int, numReps int, shrink float64) {
+	a, b := &ws[i], &ws[j]
+	na, nb := float64(len(a.members)), float64(len(b.members))
+	mean := make(geom.Point, len(a.mean))
+	for k := range mean {
+		mean[k] = (a.mean[k]*na + b.mean[k]*nb) / (na + nb)
+	}
+	a.members = append(a.members, b.members...)
+	a.mean = mean
+	a.reps = selectReps(pts, a.members, mean, numReps, shrink)
+	b.alive = false
+	b.members = nil
+	b.reps = nil
+
+	// One scan restores all invariants: recompute i's NN, opportunistically
+	// improve others' NN with their distance to the merged cluster, and
+	// fully recompute any cluster whose NN pointed at i or j.
+	a.nn, a.nnD = -1, math.Inf(1)
+	var stale []int
+	for c := range ws {
+		if c == i || !ws[c].alive {
+			continue
+		}
+		d := clusterDist(a.reps, ws[c].reps)
+		if d < a.nnD {
+			a.nn, a.nnD = c, d
+		}
+		w := &ws[c]
+		if w.nn == i || w.nn == j {
+			if d <= w.nnD {
+				// The merged cluster is at least as close as the old
+				// target was: it remains the nearest neighbour.
+				w.nn, w.nnD = i, d
+			} else {
+				stale = append(stale, c)
+			}
+		} else if d < w.nnD {
+			w.nn, w.nnD = i, d
+		}
+	}
+	for _, c := range stale {
+		recomputeNN(ws, c)
+	}
+}
+
+// recomputeNN rebuilds the cached nearest neighbour of cluster c exactly.
+func recomputeNN(ws []work, c int) {
+	w := &ws[c]
+	w.nn, w.nnD = -1, math.Inf(1)
+	for o := range ws {
+		if o == c || !ws[o].alive {
+			continue
+		}
+		if d := clusterDist(w.reps, ws[o].reps); d < w.nnD {
+			w.nn, w.nnD = o, d
+		}
+	}
+}
+
+// repairNN recomputes every cached neighbour after a trim pass removed
+// clusters.
+func repairNN(ws []work) {
+	for c := range ws {
+		if ws[c].alive {
+			recomputeNN(ws, c)
+		}
+	}
+}
+
+// trim kills live clusters with fewer than minSize members and returns how
+// many were removed, never removing all clusters.
+func trim(ws []work, minSize int) int {
+	removed, kept := 0, 0
+	for i := range ws {
+		if ws[i].alive && len(ws[i].members) >= minSize {
+			kept++
+		}
+	}
+	if kept == 0 {
+		return 0
+	}
+	for i := range ws {
+		if ws[i].alive && len(ws[i].members) < minSize {
+			ws[i].alive = false
+			ws[i].members = nil
+			ws[i].reps = nil
+			removed++
+		}
+	}
+	return removed
+}
+
+// clusterDist is the squared min distance over representative pairs.
+func clusterDist(a, b []geom.Point) float64 {
+	best := math.Inf(1)
+	for _, p := range a {
+		for _, q := range b {
+			if d := geom.SquaredDistance(p, q); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// selectReps picks up to numReps well-scattered members (farthest-point
+// traversal seeded from the point farthest from the mean) and shrinks them
+// toward the mean by the shrink factor.
+func selectReps(pts []geom.Point, members []int32, mean geom.Point, numReps int, shrink float64) []geom.Point {
+	m := len(members)
+	if m <= numReps {
+		reps := make([]geom.Point, m)
+		for k, idx := range members {
+			reps[k] = pts[idx].Lerp(mean, shrink)
+		}
+		return reps
+	}
+	chosen := make([]int32, 0, numReps)
+	minD := make([]float64, m) // min squared distance to any chosen rep
+	// Seed: farthest member from the mean.
+	far, farD := 0, -1.0
+	for k, idx := range members {
+		if d := geom.SquaredDistance(pts[idx], mean); d > farD {
+			far, farD = k, d
+		}
+	}
+	chosen = append(chosen, members[far])
+	for k, idx := range members {
+		minD[k] = geom.SquaredDistance(pts[idx], pts[chosen[0]])
+	}
+	for len(chosen) < numReps {
+		far, farD = -1, -1.0
+		for k := range members {
+			if minD[k] > farD {
+				far, farD = k, minD[k]
+			}
+		}
+		next := members[far]
+		chosen = append(chosen, next)
+		for k, idx := range members {
+			if d := geom.SquaredDistance(pts[idx], pts[next]); d < minD[k] {
+				minD[k] = d
+			}
+		}
+	}
+	reps := make([]geom.Point, len(chosen))
+	for k, idx := range chosen {
+		reps[k] = pts[idx].Lerp(mean, shrink)
+	}
+	return reps
+}
+
+// Assign labels every point in pts with the index of the cluster owning
+// the nearest representative — the final labelling phase of CURE, used to
+// extend a sample clustering to the full dataset. Returns one label per
+// point.
+func Assign(pts []geom.Point, clusters []Cluster) []int {
+	if len(clusters) == 0 || len(pts) == 0 {
+		return nil
+	}
+	var reps []geom.Point
+	var owner []int
+	for ci := range clusters {
+		for _, r := range clusters[ci].Reps {
+			reps = append(reps, r)
+			owner = append(owner, ci)
+		}
+	}
+	tree := kdtree.Build(reps)
+	labels := make([]int, len(pts))
+	for i, p := range pts {
+		ri, _ := tree.Nearest(p)
+		labels[i] = owner[ri]
+	}
+	return labels
+}

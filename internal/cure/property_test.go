@@ -1,0 +1,81 @@
+package cure
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// Property: Run's output always partitions the input — every point in
+// exactly one cluster (when no trimming is configured) — and the
+// representatives of each cluster lie inside its members' bounding box
+// (shrinking pulls strictly inward).
+func TestPropRunPartitionsInput(t *testing.T) {
+	f := func(seed uint16, kRaw, nRaw uint8) bool {
+		n := 20 + int(nRaw)%180
+		k := 1 + int(kRaw)%5
+		rng := stats.NewRNG(uint64(seed) + 1000)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{rng.Float64(), rng.Float64()}
+		}
+		clusters, err := Run(pts, Options{K: k})
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, c := range clusters {
+			members := make([]geom.Point, 0, len(c.Members))
+			for _, m := range c.Members {
+				if m < 0 || m >= n || seen[m] {
+					return false
+				}
+				seen[m] = true
+				members = append(members, pts[m])
+			}
+			box := geom.BoundingRect(members)
+			for _, r := range c.Reps {
+				if !box.Contains(r) {
+					return false
+				}
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the number of returned clusters is min(K, n) for untrimmed
+// runs on points in general position.
+func TestPropClusterCount(t *testing.T) {
+	f := func(seed uint16, kRaw uint8) bool {
+		n := 30
+		k := 1 + int(kRaw)%40
+		rng := stats.NewRNG(uint64(seed) + 5000)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{rng.Float64(), rng.Float64()}
+		}
+		clusters, err := Run(pts, Options{K: k})
+		if err != nil {
+			return false
+		}
+		want := k
+		if want > n {
+			want = n
+		}
+		return len(clusters) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package dataset defines the dataset abstraction the sampling and mining
+// algorithms operate on. The paper's efficiency claims are stated in terms
+// of sequential passes over a large dataset ("requires one or two additional
+// passes", §1); Scan is therefore the only access primitive, and every
+// implementation counts the passes made so tests and benchmarks can assert
+// the exact pass budget of each algorithm.
+//
+// The package also provides the two uniform sampling primitives the paper
+// builds on: Bernoulli (sequential coin-flip) sampling, which is what §4.2
+// describes for the uniform baseline, and Vitter's reservoir sampling
+// (Algorithm R), which the kernel density estimator uses to pick kernel
+// centers in a single pass without knowing the dataset size in advance.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// ErrStopScan may be returned by a Scan callback to end the pass early
+// without reporting an error to the caller.
+var ErrStopScan = errors.New("dataset: stop scan")
+
+// Dataset is a finite multiset of d-dimensional points that supports
+// sequential scans. Implementations must allow any number of passes and
+// must yield points in a deterministic order.
+type Dataset interface {
+	// Scan performs one sequential pass, invoking fn for every point.
+	// The Point passed to fn is only valid for the duration of the call;
+	// callbacks that retain points must Clone them. If fn returns
+	// ErrStopScan the pass ends early and Scan returns nil; any other
+	// error aborts the pass and is returned verbatim.
+	Scan(fn func(p geom.Point) error) error
+
+	// Len returns the number of points.
+	Len() int
+
+	// Dims returns the dimensionality of the points.
+	Dims() int
+
+	// Passes returns how many scans have been started since creation
+	// (early-stopped scans count as one pass).
+	Passes() int
+}
+
+// InMemory is a Dataset backed by a point slice.
+type InMemory struct {
+	pts    []geom.Point
+	dims   int
+	passes int
+}
+
+// NewInMemory wraps pts as a Dataset. The slice is retained, not copied;
+// callers must not mutate it afterwards. All points must share one
+// dimensionality.
+func NewInMemory(pts []geom.Point) (*InMemory, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("dataset: empty point set")
+	}
+	d := pts[0].Dims()
+	for i, p := range pts {
+		if p.Dims() != d {
+			return nil, fmt.Errorf("dataset: point %d has %d dims, want %d", i, p.Dims(), d)
+		}
+		if !p.IsFinite() {
+			return nil, fmt.Errorf("dataset: point %d has non-finite coordinates", i)
+		}
+	}
+	return &InMemory{pts: pts, dims: d}, nil
+}
+
+// MustInMemory is NewInMemory that panics on error, for tests and generators
+// whose input is known to be well formed.
+func MustInMemory(pts []geom.Point) *InMemory {
+	ds, err := NewInMemory(pts)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// Scan implements Dataset.
+func (m *InMemory) Scan(fn func(p geom.Point) error) error {
+	m.passes++
+	for _, p := range m.pts {
+		if err := fn(p); err != nil {
+			if errors.Is(err, ErrStopScan) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Len implements Dataset.
+func (m *InMemory) Len() int { return len(m.pts) }
+
+// Dims implements Dataset.
+func (m *InMemory) Dims() int { return m.dims }
+
+// Passes implements Dataset.
+func (m *InMemory) Passes() int { return m.passes }
+
+// Points exposes the backing slice for algorithms that have already paid
+// for materialization (e.g. clustering a sample). Callers must not mutate.
+func (m *InMemory) Points() []geom.Point { return m.pts }
+
+// Collect materializes any Dataset into memory with one pass.
+func Collect(ds Dataset) (*InMemory, error) {
+	pts := make([]geom.Point, 0, ds.Len())
+	err := ds.Scan(func(p geom.Point) error {
+		pts = append(pts, p.Clone())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return NewInMemory(pts)
+}
+
+// Bounds computes the bounding rectangle of the dataset in one pass.
+func Bounds(ds Dataset) (geom.Rect, error) {
+	var r geom.Rect
+	first := true
+	err := ds.Scan(func(p geom.Point) error {
+		if first {
+			r = geom.Rect{Min: p.Clone(), Max: p.Clone()}
+			first = false
+			return nil
+		}
+		r.Extend(p)
+		return nil
+	})
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	if first {
+		return geom.Rect{}, errors.New("dataset: Bounds of empty dataset")
+	}
+	return r, nil
+}

@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// ReservoirSkip draws a uniform random sample of exactly min(k, |ds|)
+// points in one pass using skip-based reservoir sampling in the style of
+// Vitter's Algorithm X (the paper's reference [29]): instead of flipping a
+// coin per record, it draws the number of records to skip before the next
+// replacement, so the per-record cost after the reservoir fills drops
+// from one RNG call each to one call per accepted record.
+//
+// The skip count S for a reservoir of size k after t records satisfies
+// P(S ≥ s) = Π_{i=1..s} (t+i-k)/(t+i); Algorithm X inverts that CDF by
+// sequential search, which is what this implementation does. The result
+// distribution is identical to Reservoir's.
+func ReservoirSkip(ds Dataset, k int, rng *stats.RNG) ([]geom.Point, error) {
+	if k <= 0 {
+		return nil, errors.New("dataset: non-positive reservoir size")
+	}
+	res := make([]geom.Point, 0, k)
+	seen := 0
+	skip := -1 // records to pass over before the next candidate; -1 = not drawn yet
+	err := ds.Scan(func(p geom.Point) error {
+		seen++
+		if len(res) < k {
+			res = append(res, p.Clone())
+			return nil
+		}
+		if skip < 0 {
+			skip = drawSkip(seen-1, k, rng)
+		}
+		if skip > 0 {
+			skip--
+			return nil
+		}
+		// This record is the accepted candidate: it replaces a uniform slot.
+		res[rng.Intn(k)] = p.Clone()
+		skip = -1
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res) == 0 {
+		return nil, errors.New("dataset: ReservoirSkip of empty dataset")
+	}
+	return res, nil
+}
+
+// drawSkip inverts the skip CDF by sequential search: find the smallest
+// s ≥ 0 with P(S > s) < u, where after t seen records
+// P(S > s) = Π_{i=1..s+1} (t+i-k)/(t+i).
+func drawSkip(t, k int, rng *stats.RNG) int {
+	u := rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	prod := 1.0
+	s := 0
+	for {
+		prod *= float64(t+s+1-k) / float64(t+s+1)
+		if prod <= u {
+			return s
+		}
+		s++
+	}
+}

@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+func TestReservoirSkipExactSize(t *testing.T) {
+	ds := MustInMemory(grid(1000))
+	s, err := ReservoirSkip(ds, 50, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 50 {
+		t.Errorf("size = %d", len(s))
+	}
+	if ds.Passes() != 1 {
+		t.Errorf("passes = %d", ds.Passes())
+	}
+}
+
+func TestReservoirSkipSmallDataset(t *testing.T) {
+	ds := MustInMemory(grid(5))
+	s, err := ReservoirSkip(ds, 50, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 5 {
+		t.Errorf("kept %d of 5", len(s))
+	}
+}
+
+func TestReservoirSkipInvalidSize(t *testing.T) {
+	ds := MustInMemory(grid(5))
+	if _, err := ReservoirSkip(ds, 0, stats.NewRNG(1)); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// The skip-based sampler must produce the same uniform inclusion
+// distribution as the per-record version: every point with probability k/n.
+func TestReservoirSkipUniformity(t *testing.T) {
+	pts := grid(20)
+	ds := MustInMemory(pts)
+	rng := stats.NewRNG(7)
+	counts := make(map[float64]int)
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		s, err := ReservoirSkip(ds, 5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s) != 5 {
+			t.Fatalf("trial %d: size %d", i, len(s))
+		}
+		for _, p := range s {
+			counts[p[0]]++
+		}
+	}
+	want := float64(trials) * 5 / 20
+	for v, c := range counts {
+		if float64(c) < want*0.85 || float64(c) > want*1.15 {
+			t.Errorf("point %v drawn %d times, want ~%v", v, c, want)
+		}
+	}
+	if len(counts) != 20 {
+		t.Errorf("only %d distinct points ever sampled", len(counts))
+	}
+}
+
+// Both reservoir variants agree on aggregate statistics over many draws.
+func TestReservoirVariantsAgree(t *testing.T) {
+	pts := make([]geom.Point, 500)
+	for i := range pts {
+		pts[i] = geom.Point{float64(i)}
+	}
+	ds := MustInMemory(pts)
+	meanOf := func(draw func() ([]geom.Point, error)) float64 {
+		var sum float64
+		var n int
+		for i := 0; i < 400; i++ {
+			s, err := draw()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range s {
+				sum += p[0]
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	rngA := stats.NewRNG(11)
+	rngB := stats.NewRNG(12)
+	mA := meanOf(func() ([]geom.Point, error) { return Reservoir(ds, 20, rngA) })
+	mB := meanOf(func() ([]geom.Point, error) { return ReservoirSkip(ds, 20, rngB) })
+	// True mean of 0..499 is 249.5; both estimators must be close.
+	if mA < 240 || mA > 259 || mB < 240 || mB > 259 {
+		t.Errorf("means diverge: algorithm R %v, skip %v", mA, mB)
+	}
+}

@@ -1,0 +1,405 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/cure"
+	"repro/internal/dataset"
+	"repro/internal/kde"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+func init() {
+	register("fig2", "clustering runtime: biased vs uniform sampling (Fig. 2)", fig2)
+	register("fig3", "cluster discovery on the DS1 lookalike (Fig. 3)", fig3)
+	register("fig4a", "found clusters vs noise, 2-D, 2% sample (Fig. 4a)", figNoise(2, 0.02, false))
+	register("fig4b", "found clusters vs noise, 2-D, 4% sample (Fig. 4b)", figNoise(2, 0.04, false))
+	register("fig4c", "found clusters vs noise, 3-D, 2% sample (Fig. 4c)", figNoise(3, 0.02, false))
+	register("fig5a", "variable-density clusters vs sample size, 2-D, 10% noise (Fig. 5a)", figVarDensity(2, 0.10))
+	register("fig5b", "variable-density clusters vs sample size, 2-D, 20% noise (Fig. 5b)", figVarDensity(2, 0.20))
+	register("fig5c", "variable-density clusters vs sample size, 5-D, 10% noise, grid baseline (Fig. 5c)", fig5c)
+	register("fig6", "found clusters vs noise, 3-D, 2% sample, with grid baseline (Fig. 6)", figNoise(3, 0.02, true))
+	register("fig7", "found clusters vs number of kernels (Fig. 7)", fig7)
+}
+
+// trials returns how many seeds each cell is averaged over.
+func trials(cfg Config) int {
+	if cfg.Quick {
+		return 1
+	}
+	return 3
+}
+
+// avgOver runs fn for `tr` seeds derived from cfg.Seed and returns the
+// mean of the returned counts.
+func avgOver(cfg Config, tr int, fn func(rng *stats.RNG) (int, error)) (float64, error) {
+	var sum int
+	for t := 0; t < tr; t++ {
+		rng := stats.NewRNG(cfg.Seed + uint64(t)*7919)
+		v, err := fn(rng)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return float64(sum) / float64(tr), nil
+}
+
+// noiseWorkload builds the Fig. 4/6 dataset: 10 compact clusters with
+// mildly varying densities (3x) and sizes (5x) plus fn·n uniform noise.
+func noiseWorkload(d, total int, fn float64, rng *stats.RNG) *synth.Labeled {
+	return synth.VariedClustersSide(10, d, total, 3, 5, fn, 0.1, rng)
+}
+
+// varDensityWorkload builds the Fig. 5 dataset: densities spanning 10x,
+// sizes spanning 100x (small clusters are also sparse, and small enough
+// that a 1% uniform sample catches only a handful of their points). The
+// largest cluster's box volume is held constant across dimensions —
+// keeping the side length fixed instead would collapse the volume
+// exponentially with d and blow the cluster/noise density contrast up to
+// the point where f^a weighting becomes degenerate.
+func varDensityWorkload(d, total int, fn float64, rng *stats.RNG) *synth.Labeled {
+	side := math.Pow(0.0144, 1/float64(d)) // 0.12 in 2-d
+	return synth.VariedClustersSide(10, d, total, 10, 100, fn, side, rng)
+}
+
+// figNoise produces the Fig. 4 family (and Fig. 6 when withGrid is set):
+// found clusters vs noise fraction for biased (a=1), uniform, and BIRCH.
+func figNoise(d int, sampleFrac float64, withGrid bool) func(Config) (*Table, error) {
+	return func(cfg Config) (*Table, error) {
+		total := 100000
+		noises := []float64{0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80}
+		if cfg.Quick {
+			total = 20000
+			noises = []float64{0.10, 0.40, 0.80}
+		}
+		b := int(sampleFrac * float64(total))
+		tr := trials(cfg)
+		cols := []string{"noise%", "biased a=1", "uniform/CURE", "BIRCH"}
+		if withGrid {
+			// The grid baseline's noise-robust mode mirrors a=1: expected
+			// per-cell draw ∝ n_i^e with e > 1 oversamples dense cells.
+			cols = append(cols, "grid e=2")
+		}
+		t := &Table{
+			Columns: cols,
+			Notes: []string{
+				fmt.Sprintf("%d-d, %d base points, 10 clusters (density 3x, size 5x), sample %d, %d trial(s)", d, total, b, tr),
+			},
+		}
+		for _, fn := range noises {
+			bs, err := avgOver(cfg, tr, func(rng *stats.RNG) (int, error) {
+				l := noiseWorkload(d, total, fn, rng)
+				v, _, err := biasedFound(l, 1, b, kde.DefaultNumKernels, 10, rng)
+				return v, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			rs, err := avgOver(cfg, tr, func(rng *stats.RNG) (int, error) {
+				l := noiseWorkload(d, total, fn, rng)
+				v, _, err := uniformFound(l, b, 10, rng)
+				return v, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			bi, err := avgOver(cfg, tr, func(rng *stats.RNG) (int, error) {
+				l := noiseWorkload(d, total, fn, rng)
+				return birchFound(l, b, 10)
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := []string{ftoa(fn * 100), ftoa(bs), ftoa(rs), ftoa(bi)}
+			if withGrid {
+				gr, err := avgOver(cfg, tr, func(rng *stats.RNG) (int, error) {
+					l := noiseWorkload(d, total, fn, rng)
+					v, _, err := gridFound(l, 2, b, 10, rng)
+					return v, err
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, ftoa(gr))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t, nil
+	}
+}
+
+// figVarDensity produces the Fig. 5(a)/(b) sweeps: found clusters vs
+// sample size for a = -0.5, a = -0.25, uniform, and BIRCH.
+func figVarDensity(d int, noise float64) func(Config) (*Table, error) {
+	return func(cfg Config) (*Table, error) {
+		total := 100000
+		fracs := []float64{0.0025, 0.005, 0.01, 0.02, 0.03, 0.05}
+		if cfg.Quick {
+			total = 20000
+			fracs = []float64{0.01, 0.05}
+		}
+		tr := trials(cfg)
+		t := &Table{
+			Columns: []string{"sample%", "biased a=-0.5", "biased a=-0.25", "uniform/CURE", "BIRCH"},
+			Notes: []string{
+				fmt.Sprintf("%d-d, %d base points, 10 clusters (density 10x, size 100x), %.0f%% noise, %d trial(s)", d, total, noise*100, tr),
+			},
+		}
+		for _, frac := range fracs {
+			b := int(frac * float64(total))
+			if b < 20 {
+				b = 20
+			}
+			cell := func(alpha float64) (float64, error) {
+				return avgOver(cfg, tr, func(rng *stats.RNG) (int, error) {
+					l := varDensityWorkload(d, total, noise, rng)
+					v, _, err := biasedFoundProfile(l, alpha, b, kde.DefaultNumKernels, 10, rng, noisyProfile(alpha))
+					return v, err
+				})
+			}
+			b05, err := cell(-0.5)
+			if err != nil {
+				return nil, err
+			}
+			b025, err := cell(-0.25)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := avgOver(cfg, tr, func(rng *stats.RNG) (int, error) {
+				l := varDensityWorkload(d, total, noise, rng)
+				v, _, err := uniformFound(l, b, 10, rng)
+				return v, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			bi, err := avgOver(cfg, tr, func(rng *stats.RNG) (int, error) {
+				l := varDensityWorkload(d, total, noise, rng)
+				return birchFound(l, b, 10)
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				ftoa(frac * 100), ftoa(b05), ftoa(b025), ftoa(rs), ftoa(bi),
+			})
+		}
+		return t, nil
+	}
+}
+
+// fig5c is the 5-D variable-density sweep including the Palmer-Faloutsos
+// grid baseline at e = -0.5.
+func fig5c(cfg Config) (*Table, error) {
+	total := 100000
+	fracs := []float64{0.0025, 0.005, 0.01, 0.015, 0.02, 0.025}
+	if cfg.Quick {
+		total = 20000
+		fracs = []float64{0.01, 0.025}
+	}
+	tr := trials(cfg)
+	const d = 5
+	t := &Table{
+		Columns: []string{"sample%", "biased a=-0.5", "uniform/CURE", "grid e=-0.5"},
+		Notes: []string{
+			fmt.Sprintf("5-d, %d base points, 10 clusters (density 10x, size 100x), 10%% noise, grid hash limited to 5MB, %d trial(s)", total, tr),
+		},
+	}
+	for _, frac := range fracs {
+		b := int(frac * float64(total))
+		if b < 20 {
+			b = 20
+		}
+		bs, err := avgOver(cfg, tr, func(rng *stats.RNG) (int, error) {
+			l := varDensityWorkload(d, total, 0.10, rng)
+			v, _, err := biasedFoundProfile(l, -0.5, b, kde.DefaultNumKernels, 10, rng, noisyProfile(-0.5))
+			return v, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rs, err := avgOver(cfg, tr, func(rng *stats.RNG) (int, error) {
+			l := varDensityWorkload(d, total, 0.10, rng)
+			v, _, err := uniformFound(l, b, 10, rng)
+			return v, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		gr, err := avgOver(cfg, tr, func(rng *stats.RNG) (int, error) {
+			l := varDensityWorkload(d, total, 0.10, rng)
+			v, _, err := gridFoundProfile(l, -0.5, b, 10, rng, noisyProfile(-0.5))
+			return v, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{ftoa(frac * 100), ftoa(bs), ftoa(rs), ftoa(gr)})
+	}
+	return t, nil
+}
+
+// fig2 measures the end-to-end clustering runtime against the sample
+// size: biased sampling pays a linear estimator/sampling cost and then
+// runs the quadratic hierarchical algorithm on the sample, so the curves
+// are quadratic with biased shifted up by the linear cost.
+func fig2(cfg Config) (*Table, error) {
+	total := 1000000
+	sizes := []int{1000, 3000, 5000, 7000, 9000}
+	if cfg.Quick {
+		total = 50000
+		sizes = []int{500, 1000}
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	l := synth.EqualClusters(10, 2, total, 0.10, rng)
+	ds := l.Dataset()
+	t := &Table{
+		Columns: []string{"samples", "BS-CURE sec", "RS-CURE sec", "BS sampling sec", "CURE-on-sample sec"},
+		Notes: []string{
+			fmt.Sprintf("2-d, %d points, 1000 kernels; BS time includes KDE build + both sampling passes", total),
+			"the paper sweeps to 19000 samples; the quadratic clustering term dominates equally there",
+		},
+	}
+	for _, b := range sizes {
+		var bsSample, bsCluster, rsTotal float64
+		dSample, err := timed(func() error {
+			est, err := kde.Build(ds, kde.Options{NumKernels: 1000}, rng)
+			if err != nil {
+				return err
+			}
+			s, err := core.Draw(ds, est, core.Options{Alpha: 0.5, TargetSize: b}, rng)
+			if err != nil {
+				return err
+			}
+			pts := s.PlainPoints()
+			dCluster, err := timed(func() error {
+				_, cerr := cure.Run(pts, cureOptions(10, len(pts)))
+				return cerr
+			})
+			bsCluster = dCluster.Seconds()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		bsSample = dSample.Seconds() - bsCluster
+
+		dRS, err := timed(func() error {
+			pts, err := dataset.Bernoulli(ds, b, rng)
+			if err != nil {
+				return err
+			}
+			_, err2 := cure.Run(pts, cureOptions(10, len(pts)))
+			return err2
+		})
+		if err != nil {
+			return nil, err
+		}
+		rsTotal = dRS.Seconds()
+
+		t.Rows = append(t.Rows, []string{
+			itoa(b),
+			fmt.Sprintf("%.2f", bsSample+bsCluster),
+			fmt.Sprintf("%.2f", rsTotal),
+			fmt.Sprintf("%.2f", bsSample),
+			fmt.Sprintf("%.2f", bsCluster),
+		})
+	}
+	return t, nil
+}
+
+// fig3 reproduces the qualitative DS1 experiment: a 1000-point biased
+// sample (a=0.5) recovers all five clusters while a 1000-point uniform
+// sample misses some, and uniform needs several times the sample to catch
+// up — the Theorem 1 effect. Our CURE implementation's noise elimination
+// is more robust than whatever the paper used, so the uniform failure at
+// 1000 samples only shows once the background noise is substantial; fig3
+// therefore runs DS1 with 30% noise (see EXPERIMENTS.md).
+func fig3(cfg Config) (*Table, error) {
+	total := 100000
+	tr := 5 // extra trials: single runs of this qualitative contrast are noisy
+	if cfg.Quick {
+		total = 20000
+		tr = 1
+	}
+	t := &Table{
+		Columns: []string{"method", "sample", "clusters found (of 5)"},
+		Notes: []string{
+			fmt.Sprintf("DS1 lookalike, %d points, 5 clusters of contrasting shape/density, 30%% noise, %d trial(s)", total, tr),
+		},
+	}
+	type variant struct {
+		name  string
+		b     int
+		alpha float64
+		bias  bool
+	}
+	for _, v := range []variant{
+		{"biased a=0.5", 1000, 0.5, true},
+		{"uniform", 1000, 0, false},
+		{"uniform", 2000, 0, false},
+		{"uniform", 4000, 0, false},
+	} {
+		v := v
+		found, err := avgOver(cfg, tr, func(rng *stats.RNG) (int, error) {
+			l := synth.DS1(total, 0.30, rng)
+			// Same clustering profile for every row (§4: "the same
+			// algorithm ... to make the comparison objective"); the 30%
+			// noise level wants the slightly harder mild trim.
+			if v.bias {
+				got, _, err := biasedFoundProfile(l, v.alpha, v.b, kde.DefaultNumKernels, 5, rng, mildProfile(300))
+				return got, err
+			}
+			got, _, err := uniformFoundProfile(l, v.b, 5, rng, mildProfile(300))
+			return got, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{v.name, itoa(v.b), ftoa(found)})
+	}
+	return t, nil
+}
+
+// fig7 sweeps the number of kernels: clustering quality rises steeply and
+// then plateaus, supporting the paper's ks=1000 recommendation.
+func fig7(cfg Config) (*Table, error) {
+	total := 100000
+	kernels := []int{100, 200, 300, 400, 500, 700, 900, 1100, 1200}
+	b := 500
+	if cfg.Quick {
+		total = 20000
+		kernels = []int{100, 400, 1200}
+	}
+	tr := trials(cfg)
+	t := &Table{
+		Columns: []string{"kernels", "DS1-50% a=1", "DS2-20% a=-0.25"},
+		Notes: []string{
+			fmt.Sprintf("DS1: %d pts, 10 equal clusters + 50%% noise; DS2: %d pts, 10 clusters (10x density, 20x size) + 20%% noise; 500 samples, %d trial(s)", total, total, tr),
+		},
+	}
+	for _, ks := range kernels {
+		ds1, err := avgOver(cfg, tr, func(rng *stats.RNG) (int, error) {
+			l := synth.EqualClusters(10, 2, total, 0.50, rng)
+			v, _, err := biasedFound(l, 1, b, ks, 10, rng)
+			return v, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		ds2, err := avgOver(cfg, tr, func(rng *stats.RNG) (int, error) {
+			l := varDensityWorkload(2, total, 0.20, rng)
+			v, _, err := biasedFound(l, -0.25, b, ks, 10, rng)
+			return v, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{itoa(ks), ftoa(ds1), ftoa(ds2)})
+	}
+	return t, nil
+}

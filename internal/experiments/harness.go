@@ -1,0 +1,108 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4). Each experiment is addressed by the id used in
+// DESIGN.md's experiment index (fig2 … fig7, thm1, scale, outliers, geo,
+// samplesize, and the ablation-* extras) and produces a Table whose rows
+// mirror the series the paper plots.
+//
+// Experiments run in two profiles: the full profile reproduces the paper's
+// workload sizes (hundreds of thousands to a million points), while the
+// quick profile shrinks cardinalities so the whole suite can run inside
+// the test budget. The shapes of the results — who wins, by what factor,
+// where the curves cross — are the reproduction target, not absolute
+// numbers (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config selects the execution profile.
+type Config struct {
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed uint64
+	// Quick shrinks dataset and sweep sizes for tests.
+	Quick bool
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes records parameter choices and deviations worth surfacing.
+	Notes []string
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// runner is one registered experiment.
+type runner struct {
+	title string
+	fn    func(Config) (*Table, error)
+}
+
+var registry = map[string]runner{}
+
+func register(id, title string, fn func(Config) (*Table, error)) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = runner{title: title, fn: fn}
+}
+
+// IDs returns all registered experiment ids, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns the registered title for an id ("" when unknown).
+func Title(id string) string { return registry[id].title }
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r.fn(cfg)
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/birch"
+	"repro/internal/core"
+	"repro/internal/cure"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/geom"
+	"repro/internal/gridsample"
+	"repro/internal/kde"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// pipeline glue shared by the figure experiments: draw a sample (biased,
+// uniform, or grid), cluster it with the CURE-style hierarchical
+// algorithm, and score against ground truth with the §4.3 criteria.
+
+// cureProfile picks the clustering parameters for a sample. Both
+// profiles use the paper's α=0.3 and 10 representatives plus CURE's
+// two-phase outlier elimination; they differ in how aggressively the
+// second phase prunes, matching how much noise the sampling mode admits.
+type cureProfile func(k, n int) cure.Options
+
+// cureOptions is the mild profile for dense-biased (a ≥ 0) and uniform
+// samples, which carry little noise: a late, gentle second trim.
+func cureOptions(k, n int) cure.Options {
+	return mildProfile(500)(k, n)
+}
+
+// mildProfile parameterizes the mild profile's final-trim threshold
+// divisor: FinalTrimMinSize = n/div. The default 500 suits workloads
+// whose smallest clusters contribute only a few dozen sample points; the
+// heavier-noise DS1 experiment (fig3) uses 300 so uniform samples of
+// intermediate sizes shed their larger residual noise blobs.
+func mildProfile(div int) cureProfile {
+	return func(k, n int) cure.Options {
+		finalMin := n / div
+		if finalMin < 3 {
+			finalMin = 3
+		}
+		return cure.Options{
+			K:       k,
+			NumReps: 10,
+			Shrink:  0.3,
+			// Phase 1 (CURE §4.1): when clusters reach a third of the
+			// sample size, drop 1-2 point clusters — isolated noise —
+			// before they chain real clusters together.
+			TrimAt:      n / 3,
+			TrimMinSize: 3,
+			// Phase 2: near the end, drop residual small noise groups.
+			FinalTrimAt:      5 * k,
+			FinalTrimMinSize: finalMin,
+		}
+	}
+}
+
+// noisyProfile returns the profile for sparse-biased (a < 0) samples,
+// which deliberately admit background noise: extra cluster slots so noise
+// blobs do not force true clusters to merge, plus a second trim whose
+// strength follows the bias — a = -0.5 admits roughly twice the noise of
+// a = -0.25 and needs a correspondingly harder prune.
+func noisyProfile(alpha float64) cureProfile {
+	div := 300
+	if alpha <= -0.4 {
+		div = 150
+	}
+	return func(k, n int) cure.Options {
+		finalMin := n / div
+		if finalMin < 3 {
+			finalMin = 3
+		}
+		kk := k + 5
+		return cure.Options{
+			K:                kk,
+			NumReps:          10,
+			Shrink:           0.3,
+			TrimAt:           n / 3,
+			TrimMinSize:      3,
+			FinalTrimAt:      3 * kk,
+			FinalTrimMinSize: finalMin,
+		}
+	}
+}
+
+// repsOf extracts the representative sets from a clustering.
+func repsOf(clusters []cure.Cluster) [][]geom.Point {
+	reps := make([][]geom.Point, len(clusters))
+	for i := range clusters {
+		reps[i] = clusters[i].Reps
+	}
+	return reps
+}
+
+// timed runs fn and returns its duration.
+func timed(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}
+
+// biasedFound draws a density-biased sample of size b with exponent alpha
+// (building a fresh KDE with ks kernels), clusters it, and returns the
+// number of true clusters found plus the sample actually drawn.
+func biasedFound(l *synth.Labeled, alpha float64, b, ks, k int, rng *stats.RNG) (int, int, error) {
+	return biasedFoundProfile(l, alpha, b, ks, k, rng, cureOptions)
+}
+
+// biasedFoundProfile is biasedFound with an explicit clustering profile.
+func biasedFoundProfile(l *synth.Labeled, alpha float64, b, ks, k int, rng *stats.RNG, prof cureProfile) (int, int, error) {
+	ds := l.Dataset()
+	est, err := kde.Build(ds, kde.Options{NumKernels: ks}, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	s, err := core.Draw(ds, est, core.Options{Alpha: alpha, TargetSize: b}, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	pts := s.PlainPoints()
+	if len(pts) == 0 {
+		return 0, 0, fmt.Errorf("experiments: empty biased sample")
+	}
+	clusters, err := cure.Run(pts, prof(k, len(pts)))
+	if err != nil {
+		return 0, 0, err
+	}
+	found := eval.CountTrue(eval.FoundByReps(repsOf(clusters), l.Clusters, eval.DefaultRepFraction))
+	return found, len(pts), nil
+}
+
+// uniformFound draws a uniform Bernoulli sample of expected size b,
+// clusters it, and scores it.
+func uniformFound(l *synth.Labeled, b, k int, rng *stats.RNG) (int, int, error) {
+	return uniformFoundProfile(l, b, k, rng, cureOptions)
+}
+
+// uniformFoundProfile is uniformFound with an explicit clustering profile.
+func uniformFoundProfile(l *synth.Labeled, b, k int, rng *stats.RNG, prof cureProfile) (int, int, error) {
+	ds := l.Dataset()
+	pts, err := dataset.Bernoulli(ds, b, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(pts) == 0 {
+		return 0, 0, fmt.Errorf("experiments: empty uniform sample")
+	}
+	clusters, err := cure.Run(pts, prof(k, len(pts)))
+	if err != nil {
+		return 0, 0, err
+	}
+	found := eval.CountTrue(eval.FoundByReps(repsOf(clusters), l.Clusters, eval.DefaultRepFraction))
+	return found, len(pts), nil
+}
+
+// gridFound runs the Palmer-Faloutsos sampler with exponent e and the 5 MB
+// hash budget of §4.3, clusters the sample, and scores it.
+func gridFound(l *synth.Labeled, e float64, b, k int, rng *stats.RNG) (int, int, error) {
+	return gridFoundProfile(l, e, b, k, rng, cureOptions)
+}
+
+// gridFoundProfile is gridFound with an explicit clustering profile.
+func gridFoundProfile(l *synth.Labeled, e float64, b, k int, rng *stats.RNG, prof cureProfile) (int, int, error) {
+	ds := l.Dataset()
+	res, err := gridsample.Draw(ds, l.Domain, gridsample.Options{
+		Exponent:   e,
+		TargetSize: b,
+	}, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	pts := make([]geom.Point, len(res.Points))
+	for i, wp := range res.Points {
+		pts[i] = wp.P
+	}
+	if len(pts) == 0 {
+		return 0, 0, fmt.Errorf("experiments: empty grid sample")
+	}
+	clusters, err := cure.Run(pts, prof(k, len(pts)))
+	if err != nil {
+		return 0, 0, err
+	}
+	found := eval.CountTrue(eval.FoundByReps(repsOf(clusters), l.Clusters, eval.DefaultRepFraction))
+	return found, len(pts), nil
+}
+
+// birchFound runs BIRCH over the full dataset with a CF-tree budget equal
+// to the byte size of a b-point sample (§4.2), and scores its reported
+// centers with the center-containment criterion.
+func birchFound(l *synth.Labeled, b, k int) (int, error) {
+	ds := l.Dataset()
+	budget := b * 8 * ds.Dims()
+	res, err := birch.Cluster(ds, birch.Options{K: k, MemoryBudget: budget, OutlierFraction: 0.5})
+	if err != nil {
+		return 0, err
+	}
+	centers := make([]geom.Point, len(res.Clusters))
+	for i, s := range res.Clusters {
+		centers[i] = s.Centroid
+	}
+	return eval.CountTrue(eval.FoundByCenters(centers, l.Clusters)), nil
+}
+
+func itoa(v int) string           { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string       { return fmt.Sprintf("%.3g", v) }
+func secs(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }

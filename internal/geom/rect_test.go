@@ -1,0 +1,169 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{2, 4})
+	if r.Dims() != 2 {
+		t.Errorf("Dims = %d", r.Dims())
+	}
+	if got := r.Volume(); got != 8 {
+		t.Errorf("Volume = %v", got)
+	}
+	if got := r.Side(1); got != 4 {
+		t.Errorf("Side(1) = %v", got)
+	}
+	if got := r.Center(); !got.Equal(Point{1, 2}) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestNewRectInvertedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inverted rect")
+		}
+	}()
+	NewRect(Point{1}, Point{0})
+}
+
+func TestUnitCube(t *testing.T) {
+	c := UnitCube(3)
+	if c.Volume() != 1 {
+		t.Errorf("unit cube volume = %v", c.Volume())
+	}
+	if !c.Contains(Point{0.5, 0.5, 0.5}) || c.Contains(Point{1.5, 0, 0}) {
+		t.Error("unit cube containment wrong")
+	}
+}
+
+func TestRectContainsBoundary(t *testing.T) {
+	r := NewRect(Point{0}, Point{1})
+	if !r.Contains(Point{0}) || !r.Contains(Point{1}) {
+		t.Error("closed rect must contain its boundary")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{1, 1})
+	b := NewRect(Point{1, 1}, Point{2, 2})
+	c := NewRect(Point{1.1, 0}, Point{2, 1})
+	if !a.Intersects(b) {
+		t.Error("touching rects should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint rects should not intersect")
+	}
+}
+
+func TestRectExtend(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{1, 1})
+	r.Extend(Point{2, -1})
+	if !r.Min.Equal(Point{0, -1}) || !r.Max.Equal(Point{2, 1}) {
+		t.Errorf("Extend = %v", r)
+	}
+}
+
+func TestRectMinMaxDist(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{1, 1})
+	if got := r.MinDist(Point{0.5, 0.5}); got != 0 {
+		t.Errorf("MinDist inside = %v", got)
+	}
+	if got := r.MinDist(Point{2, 1}); got != 1 {
+		t.Errorf("MinDist outside = %v", got)
+	}
+	want := math.Sqrt(2)
+	if got := r.MaxDist(Point{0, 0}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxDist corner = %v, want %v", got, want)
+	}
+}
+
+func TestBoundingRect(t *testing.T) {
+	r := BoundingRect([]Point{{1, 5}, {-2, 3}, {0, 7}})
+	if !r.Min.Equal(Point{-2, 3}) || !r.Max.Equal(Point{1, 7}) {
+		t.Errorf("BoundingRect = %v", r)
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	s := NewScaler(NewRect(Point{-10, 5}, Point{10, 6}))
+	p := Point{3, 5.25}
+	u := s.ToUnit(p)
+	if u[0] < 0 || u[0] > 1 || u[1] < 0 || u[1] > 1 {
+		t.Errorf("ToUnit out of cube: %v", u)
+	}
+	back := s.FromUnit(u)
+	for i := range p {
+		if math.Abs(back[i]-p[i]) > 1e-12 {
+			t.Errorf("round trip %v -> %v", p, back)
+		}
+	}
+}
+
+func TestScalerDegenerateDim(t *testing.T) {
+	s := NewScaler(NewRect(Point{2, 0}, Point{2, 1}))
+	u := s.ToUnit(Point{2, 0.5})
+	if u[0] != 0 {
+		t.Errorf("degenerate dim should map to 0, got %v", u[0])
+	}
+	if got := s.FromUnit(u); got[0] != 2 {
+		t.Errorf("degenerate inverse = %v", got)
+	}
+}
+
+// Property: MinDist ≤ distance-to-center ≤ MaxDist for points and boxes in
+// general position.
+func TestPropRectDistanceEnvelope(t *testing.T) {
+	f := func(ax, ay, bx, by, px, py float64) bool {
+		norm := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 100)
+		}
+		ax, ay, bx, by, px, py = norm(ax), norm(ay), norm(bx), norm(by), norm(px), norm(py)
+		r := NewRect(
+			Point{math.Min(ax, bx), math.Min(ay, by)},
+			Point{math.Max(ax, bx), math.Max(ay, by)},
+		)
+		p := Point{px, py}
+		dc := Distance(p, r.Center())
+		const eps = 1e-9
+		return r.MinDist(p) <= dc+eps && dc <= r.MaxDist(p)+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling into the unit cube and back is the identity for points
+// inside the box.
+func TestPropScalerRoundTrip(t *testing.T) {
+	f := func(lo, hi, frac float64) bool {
+		norm := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0.5
+			}
+			return math.Mod(math.Abs(v), 50)
+		}
+		lo, hi = norm(lo), norm(hi)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi-lo < 1e-9 {
+			hi = lo + 1
+		}
+		fr := math.Mod(math.Abs(norm(frac)), 1.0)
+		s := NewScaler(NewRect(Point{lo}, Point{hi}))
+		p := Point{lo + fr*(hi-lo)}
+		back := s.FromUnit(s.ToUnit(p))
+		return math.Abs(back[0]-p[0]) <= 1e-9*(1+math.Abs(p[0]))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

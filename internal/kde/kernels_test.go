@@ -1,0 +1,130 @@
+package kde
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var allKernels = []Kernel{Epanechnikov{}, Biweight{}, Triangular{}, Uniform{}, Gaussian{}}
+
+func TestKernelsIntegrateToOne(t *testing.T) {
+	// Trapezoid rule over the support must give ~1.
+	for _, k := range allKernels {
+		s := k.Support()
+		const steps = 200000
+		var sum float64
+		dx := 2 * s / steps
+		for i := 0; i <= steps; i++ {
+			u := -s + float64(i)*dx
+			w := 1.0
+			if i == 0 || i == steps {
+				w = 0.5
+			}
+			sum += w * k.Value(u)
+		}
+		sum *= dx
+		if math.Abs(sum-1) > 1e-3 {
+			t.Errorf("%s: integral = %v", k.Name(), sum)
+		}
+	}
+}
+
+func TestKernelsSymmetric(t *testing.T) {
+	for _, k := range allKernels {
+		for _, u := range []float64{0.1, 0.33, 0.7, 0.99} {
+			if math.Abs(k.Value(u)-k.Value(-u)) > 1e-15 {
+				t.Errorf("%s not symmetric at %v", k.Name(), u)
+			}
+		}
+	}
+}
+
+func TestKernelsVanishOutsideSupport(t *testing.T) {
+	for _, k := range allKernels {
+		if k.Name() == "gaussian" {
+			continue // unbounded support by definition
+		}
+		s := k.Support()
+		if k.Value(s+1e-9) != 0 || k.Value(-s-1e-9) != 0 {
+			t.Errorf("%s non-zero outside support", k.Name())
+		}
+	}
+}
+
+func TestKernelCDFEndpoints(t *testing.T) {
+	for _, k := range allKernels {
+		s := k.Support() + 1
+		if got := k.CDF(-s); math.Abs(got) > 1e-4 {
+			t.Errorf("%s: CDF(-∞) = %v", k.Name(), got)
+		}
+		if got := k.CDF(s); math.Abs(got-1) > 1e-4 {
+			t.Errorf("%s: CDF(+∞) = %v", k.Name(), got)
+		}
+		if got := k.CDF(0); math.Abs(got-0.5) > 1e-12 {
+			t.Errorf("%s: CDF(0) = %v, want 0.5 (symmetry)", k.Name(), got)
+		}
+	}
+}
+
+func TestKernelCDFMatchesValueDerivative(t *testing.T) {
+	// (CDF(u+h) - CDF(u-h)) / 2h ≈ Value(u).
+	const h = 1e-5
+	for _, k := range allKernels {
+		for _, u := range []float64{-0.9, -0.5, -0.1, 0, 0.2, 0.6, 0.95} {
+			deriv := (k.CDF(u+h) - k.CDF(u-h)) / (2 * h)
+			if math.Abs(deriv-k.Value(u)) > 1e-5 {
+				t.Errorf("%s: CDF'(%v) = %v, Value = %v", k.Name(), u, deriv, k.Value(u))
+			}
+		}
+	}
+}
+
+func TestKernelByName(t *testing.T) {
+	for _, k := range allKernels {
+		got := KernelByName(k.Name())
+		if got == nil || got.Name() != k.Name() {
+			t.Errorf("KernelByName(%q) = %v", k.Name(), got)
+		}
+	}
+	if KernelByName("nope") != nil {
+		t.Error("unknown kernel name accepted")
+	}
+}
+
+// Property: every CDF is monotone non-decreasing.
+func TestPropCDFMonotone(t *testing.T) {
+	for _, k := range allKernels {
+		k := k
+		f := func(a, b float64) bool {
+			if math.IsNaN(a) || math.IsNaN(b) {
+				return true
+			}
+			a = math.Mod(a, 10)
+			b = math.Mod(b, 10)
+			if a > b {
+				a, b = b, a
+			}
+			return k.CDF(a) <= k.CDF(b)+1e-12
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", k.Name(), err)
+		}
+	}
+}
+
+// Property: kernel values are non-negative everywhere.
+func TestPropKernelNonNegative(t *testing.T) {
+	for _, k := range allKernels {
+		k := k
+		f := func(u float64) bool {
+			if math.IsNaN(u) {
+				return true
+			}
+			return k.Value(math.Mod(u, 10)) >= 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", k.Name(), err)
+		}
+	}
+}

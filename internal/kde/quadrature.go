@@ -1,0 +1,84 @@
+package kde
+
+import "sync"
+
+// ballQuadrature returns a fixed set of low-discrepancy points inside the
+// d-dimensional unit ball, used by IntegrateBall. The set is deterministic
+// (Halton sequence, rejection-sampled from [-1,1]^d) and cached per
+// dimension, so repeated integrals share the work and results are
+// reproducible.
+const quadraturePoints = 128
+
+var (
+	quadMu    sync.Mutex
+	quadCache = map[int][][]float64{}
+)
+
+func ballQuadrature(d int) [][]float64 {
+	quadMu.Lock()
+	defer quadMu.Unlock()
+	if q, ok := quadCache[d]; ok {
+		return q
+	}
+	q := make([][]float64, 0, quadraturePoints)
+	// Rejection from the cube keeps Halton's uniformity; acceptance decays
+	// with dimension, so scan enough indices to fill the budget.
+	for i := 1; len(q) < quadraturePoints && i < 1<<22; i++ {
+		p := make([]float64, d)
+		inside := 0.0
+		for j := 0; j < d; j++ {
+			p[j] = 2*halton(i, prime(j)) - 1
+			inside += p[j] * p[j]
+		}
+		if inside <= 1 {
+			q = append(q, p)
+		}
+	}
+	if len(q) == 0 {
+		// Extremely high dimension: fall back to the center point; the
+		// integral degrades to f(o)·Vol(ball), still a usable estimate.
+		q = append(q, make([]float64, d))
+	}
+	quadCache[d] = q
+	return q
+}
+
+// halton returns the i-th element of the base-b Halton sequence in (0,1).
+func halton(i, b int) float64 {
+	f := 1.0
+	r := 0.0
+	for i > 0 {
+		f /= float64(b)
+		r += f * float64(i%b)
+		i /= b
+	}
+	return r
+}
+
+// prime returns the n-th prime (0-indexed) for Halton bases.
+func prime(n int) int {
+	primes := [...]int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71}
+	if n < len(primes) {
+		return primes[n]
+	}
+	// Beyond the table, extend by trial division; dimensions that large
+	// are outside this repository's use but should not panic.
+	c := primes[len(primes)-1]
+	for k := len(primes) - 1; k < n; {
+		c++
+		isP := true
+		for _, p := range primes {
+			if p*p > c {
+				break
+			}
+			if c%p == 0 {
+				isP = false
+				break
+			}
+		}
+		if isP {
+			k++
+		}
+	}
+	return c
+}

@@ -1,0 +1,108 @@
+package outlier
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+func TestCellBasedMatchesExact(t *testing.T) {
+	rng := stats.NewRNG(1)
+	pts, _ := clusterWithOutliers(1500, 6, rng)
+	for i := 0; i < 200; i++ {
+		pts = append(pts, geom.Point{rng.Float64(), rng.Float64()})
+	}
+	for _, prm := range []Params{{K: 0.03, P: 0}, {K: 0.05, P: 2}, {K: 0.08, P: 5}} {
+		cell, err := CellBased(pts, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := Exact(pts, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Ints(exact)
+		if len(cell) != len(exact) {
+			t.Fatalf("prm %+v: cell %d vs exact %d outliers", prm, len(cell), len(exact))
+		}
+		for i := range cell {
+			if cell[i] != exact[i] {
+				t.Fatalf("prm %+v: sets differ at %d: %d vs %d", prm, i, cell[i], exact[i])
+			}
+		}
+	}
+}
+
+func TestCellBased3D(t *testing.T) {
+	rng := stats.NewRNG(2)
+	var pts []geom.Point
+	for i := 0; i < 2000; i++ {
+		pts = append(pts, geom.Point{0.3 + 0.1*rng.Float64(), 0.3 + 0.1*rng.Float64(), 0.3 + 0.1*rng.Float64()})
+	}
+	pts = append(pts, geom.Point{0.9, 0.9, 0.9}, geom.Point{0.05, 0.9, 0.1})
+	prm := Params{K: 0.06, P: 1}
+	cell, err := CellBased(pts, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Exact(pts, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cell) != len(exact) {
+		t.Fatalf("3-d: cell %d vs exact %d", len(cell), len(exact))
+	}
+}
+
+func TestCellBasedHighDimFallsBack(t *testing.T) {
+	// 10-d: the cell neighbourhood would explode; the function must fall
+	// back to the index-based exact algorithm and still be correct.
+	rng := stats.NewRNG(3)
+	var pts []geom.Point
+	for i := 0; i < 500; i++ {
+		p := make(geom.Point, 10)
+		for j := range p {
+			p[j] = 0.4 + 0.2*rng.Float64()
+		}
+		pts = append(pts, p)
+	}
+	iso := make(geom.Point, 10)
+	for j := range iso {
+		iso[j] = 0.95
+	}
+	pts = append(pts, iso)
+	got, err := CellBased(pts, Params{K: 0.3, P: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Exact(pts, Params{K: 0.3, P: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(exact) {
+		t.Fatalf("fallback: %d vs %d", len(got), len(exact))
+	}
+}
+
+func TestCellBasedEmptyAndValidation(t *testing.T) {
+	if got, err := CellBased(nil, Params{K: 1, P: 0}); err != nil || got != nil {
+		t.Errorf("empty: %v %v", got, err)
+	}
+	if _, err := CellBased([]geom.Point{{1}}, Params{K: 0, P: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func TestCellBasedAllOutliers(t *testing.T) {
+	// Widely spaced points: everyone is an outlier at P=0.
+	pts := []geom.Point{{0, 0}, {5, 5}, {10, 0}, {0, 10}}
+	got, err := CellBased(pts, Params{K: 1, P: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Errorf("got %d outliers, want 4", len(got))
+	}
+}

@@ -1,0 +1,232 @@
+// Package outlier implements distance-based DB(p,k) outlier detection
+// (§3.2): exact baselines following Knorr & Ng (nested loop with early
+// termination, and a kd-tree index variant), and the paper's approximate
+// algorithm driven by a density estimate — compute the expected number of
+// neighbours N'_D(O,k) = ∫_Ball(O,k) f for every point, keep the points
+// whose expectation falls below a candidate threshold, and verify only
+// those candidates exactly in one more pass.
+//
+// A point O is a DB(p,k) outlier when at most p other points of the
+// dataset lie at distance at most k from O. Following Knorr & Ng, p may
+// also be given as a fraction fr of the dataset size (p = fr·|D|).
+package outlier
+
+import (
+	"errors"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+)
+
+// Params are the DB(p,k) parameters. K is the neighbourhood radius
+// (distance threshold), P the maximum neighbour count an outlier may have.
+// Metric optionally selects the distance function for NestedLoop (§3.2:
+// "different distance metrics (for example the L1 or Manhattan metric)
+// can be used equally well"); nil means Euclidean. The indexed detectors
+// (Exact, CellBased, Approximate) are Euclidean-only — their pruning
+// structures assume the L2 geometry.
+type Params struct {
+	K      float64
+	P      int
+	Metric geom.Metric
+}
+
+// FromFraction converts a fractional neighbour bound into Params
+// (p = fr·n), per Definition 1's remark.
+func FromFraction(k float64, fr float64, n int) Params {
+	return Params{K: k, P: int(fr * float64(n))}
+}
+
+func (prm Params) validate() error {
+	if prm.K <= 0 {
+		return errors.New("outlier: K must be positive")
+	}
+	if prm.P < 0 {
+		return errors.New("outlier: P must be non-negative")
+	}
+	return nil
+}
+
+// NestedLoop finds all DB(p,k) outliers by the quadratic nested-loop
+// algorithm with early termination: a point is disqualified as soon as
+// p+1 neighbours are seen. The self-distance does not count. Returns the
+// indices of the outliers in input order.
+func NestedLoop(pts []geom.Point, prm Params) ([]int, error) {
+	if err := prm.validate(); err != nil {
+		return nil, err
+	}
+	metric := prm.Metric
+	if metric == nil {
+		metric = geom.Euclidean{}
+	}
+	var out []int
+	for i, p := range pts {
+		count := 0
+		isOutlier := true
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if metric.Distance(p, q) <= prm.K {
+				count++
+				if count > prm.P {
+					isOutlier = false
+					break
+				}
+			}
+		}
+		if isOutlier {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// Exact finds all DB(p,k) outliers with a kd-tree index: each point's
+// neighbour count within K is evaluated with an early-exit range count.
+// Returns outlier indices in input order.
+func Exact(pts []geom.Point, prm Params) ([]int, error) {
+	if err := prm.validate(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	tree := kdtree.Build(pts)
+	var out []int
+	for i, p := range pts {
+		// CountWithin includes the query point itself (distance 0), so an
+		// outlier has at most P+1 in-range points; the limit lets the
+		// search abort as soon as P+2 are seen.
+		if tree.CountWithin(p, prm.K, prm.P+1) <= prm.P+1 {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// BallIntegrator supplies the expected in-ball point count under a density
+// estimate — N'_D(O,k) of §3.2. *kde.Estimator satisfies it.
+type BallIntegrator interface {
+	IntegrateBall(o geom.Point, r float64) float64
+}
+
+// ApproxOptions tune the approximate detector.
+type ApproxOptions struct {
+	// CandidateFactor widens the candidate net: points with expected
+	// neighbour count N' ≤ CandidateFactor·(P+1) become candidates for
+	// exact verification. Larger values trade verification work for
+	// recall; the density estimate would have to overestimate an
+	// outlier's neighbourhood by more than this factor for the algorithm
+	// to miss it. Default 3.
+	CandidateFactor float64
+}
+
+// Result reports an approximate detection run.
+type Result struct {
+	// Outliers are the verified outlier points.
+	Outliers []geom.Point
+	// NumCandidates is the size of the candidate set the density
+	// estimate produced (the verification workload).
+	NumCandidates int
+	// DataPasses consumed by detection: 1 to score all points + 1 to
+	// verify candidates (0 when no candidates survive scoring). The
+	// estimator-construction pass is not included.
+	DataPasses int
+}
+
+// Approximate runs the §3.2 algorithm over ds using the density estimate:
+// score every point by its expected neighbour count, keep the low-density
+// candidates, and verify them exactly against the full dataset in one more
+// pass. With a representative estimator the result equals the exact
+// outlier set, found in "at most two dataset passes plus the dataset pass
+// … to compute the density estimator" (§4.5).
+func Approximate(ds dataset.Dataset, est BallIntegrator, prm Params, opts ApproxOptions) (*Result, error) {
+	if err := prm.validate(); err != nil {
+		return nil, err
+	}
+	if est == nil {
+		return nil, errors.New("outlier: nil estimator")
+	}
+	cf := opts.CandidateFactor
+	if cf == 0 {
+		cf = 3
+	}
+	if cf < 1 {
+		return nil, errors.New("outlier: CandidateFactor must be ≥ 1")
+	}
+	threshold := cf * float64(prm.P+1)
+
+	// Pass 1: expected neighbour count per point; collect candidates.
+	var candidates []geom.Point
+	err := ds.Scan(func(p geom.Point) error {
+		if est.IntegrateBall(p, prm.K) <= threshold {
+			candidates = append(candidates, p.Clone())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{NumCandidates: len(candidates), DataPasses: 1}
+	if len(candidates) == 0 {
+		return res, nil
+	}
+
+	// Pass 2: exact verification. A kd-tree over the candidates lets one
+	// sequential scan attribute every dataset point to the candidates it
+	// neighbours; candidates exceeding P are disqualified on the spot.
+	tree := kdtree.Build(candidates)
+	counts := make([]int, len(candidates))
+	dead := make([]bool, len(candidates))
+	err = ds.Scan(func(p geom.Point) error {
+		for _, ci := range tree.Within(p, prm.K) {
+			if dead[ci] {
+				continue
+			}
+			counts[ci]++
+			// Each candidate sees itself once during the scan, so the
+			// true neighbour bound P allows P+1 in-range hits.
+			if counts[ci] > prm.P+1 {
+				dead[ci] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.DataPasses = 2
+	for i, c := range candidates {
+		if !dead[i] {
+			res.Outliers = append(res.Outliers, c)
+		}
+	}
+	return res, nil
+}
+
+// EstimateCount estimates the number of DB(p,k) outliers in a single pass
+// by counting points whose expected neighbour count is at most P+1 —
+// the cheap parameter-exploration mode §3.2 advertises ("it can estimate
+// the number of DB(p,k)-outliers in a dataset D very efficiently, in one
+// dataset pass").
+func EstimateCount(ds dataset.Dataset, est BallIntegrator, prm Params) (int, error) {
+	if err := prm.validate(); err != nil {
+		return 0, err
+	}
+	if est == nil {
+		return 0, errors.New("outlier: nil estimator")
+	}
+	count := 0
+	err := ds.Scan(func(p geom.Point) error {
+		if est.IntegrateBall(p, prm.K) <= float64(prm.P+1) {
+			count++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return count, nil
+}

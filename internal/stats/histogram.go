@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi). Values outside
+// the range are clamped into the first/last bucket. Used by the experiment
+// harness to summarize distributions (e.g. per-point inclusion probability).
+type Histogram struct {
+	lo, hi float64
+	counts []int
+	total  int
+	under  int
+	over   int
+}
+
+// NewHistogram returns a histogram with n equal buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || !(hi > lo) {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.under++
+		h.counts[0]++
+	case x >= h.hi:
+		h.over++
+		h.counts[len(h.counts)-1]++
+	default:
+		i := int(float64(len(h.counts)) * (x - h.lo) / (h.hi - h.lo))
+		if i == len(h.counts) {
+			i--
+		}
+		h.counts[i]++
+	}
+}
+
+// Count returns the number of observations recorded.
+func (h *Histogram) Count() int { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.counts[i] }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Outliers returns how many observations fell below lo and at/above hi.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// String renders a compact one-line summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist[%g,%g) n=%d buckets=%d", h.lo, h.hi, h.total, len(h.counts))
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile out of [0,1]")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(math.Floor(pos))
+	if i >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(i)
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// ChernoffUpper bounds P(X ≥ (1+δ)μ) for a sum X of independent Bernoullis
+// with mean μ: exp(-μ δ² / 3) for 0 < δ ≤ 1. The theory package uses the
+// matching lower-tail bound to size samples.
+func ChernoffUpper(mu, delta float64) float64 {
+	if delta <= 0 {
+		return 1
+	}
+	if delta > 1 {
+		delta = 1
+	}
+	return math.Exp(-mu * delta * delta / 3)
+}
+
+// ChernoffLower bounds P(X ≤ (1-δ)μ) ≤ exp(-μ δ² / 2) for 0 < δ ≤ 1.
+func ChernoffLower(mu, delta float64) float64 {
+	if delta <= 0 {
+		return 1
+	}
+	if delta > 1 {
+		delta = 1
+	}
+	return math.Exp(-mu * delta * delta / 2)
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Errorf("bucket %d = %d, want 1", i, h.Bucket(i))
+		}
+	}
+	if h.Count() != 10 || h.Buckets() != 10 {
+		t.Errorf("count/buckets = %d/%d", h.Count(), h.Buckets())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(2)
+	h.Add(1) // hi is exclusive → clamps to last bucket
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Errorf("outliers = %d/%d", under, over)
+	}
+	if h.Bucket(0) != 1 || h.Bucket(3) != 2 {
+		t.Errorf("clamped buckets = %d/%d", h.Bucket(0), h.Bucket(3))
+	}
+}
+
+func TestHistogramInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 1, 10)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// input must not be mutated
+	if xs[0] != 5 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.3); math.Abs(got-3) > 1e-12 {
+		t.Errorf("interpolated quantile = %v, want 3", got)
+	}
+}
+
+func TestQuantileSingleton(t *testing.T) {
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestChernoffBounds(t *testing.T) {
+	// Bounds must be in (0,1] and decrease with μ and δ.
+	if ChernoffUpper(10, 0.5) >= ChernoffUpper(10, 0.25) {
+		t.Error("upper bound not decreasing in delta")
+	}
+	if ChernoffLower(20, 0.5) >= ChernoffLower(10, 0.5) {
+		t.Error("lower bound not decreasing in mu")
+	}
+	if ChernoffUpper(10, 0) != 1 || ChernoffLower(10, -1) != 1 {
+		t.Error("degenerate delta should give trivial bound 1")
+	}
+	// Empirical sanity: P(Bin(1000, 0.5) <= 400) is far below the bound.
+	r := NewRNG(99)
+	const trials = 2000
+	bad := 0
+	for i := 0; i < trials; i++ {
+		c := 0
+		for j := 0; j < 1000; j++ {
+			if r.Bernoulli(0.5) {
+				c++
+			}
+		}
+		if float64(c) <= 400 {
+			bad++
+		}
+	}
+	bound := ChernoffLower(500, 0.2)
+	if float64(bad)/trials > bound {
+		t.Errorf("empirical tail %v exceeds Chernoff bound %v", float64(bad)/trials, bound)
+	}
+}

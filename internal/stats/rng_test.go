@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 1 and 2 collided %d times in 64 draws", same)
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	r := NewRNG(7)
+	s := r.Split()
+	// The split stream must not replay the parent stream.
+	var parent, child [32]uint64
+	for i := range parent {
+		parent[i] = r.Uint64()
+		child[i] = s.Uint64()
+	}
+	if parent == child {
+		t.Error("split stream equals parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(5)
+	var m Moments
+	for i := 0; i < 200000; i++ {
+		m.Add(r.Float64())
+	}
+	if math.Abs(m.Mean()-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", m.Mean())
+	}
+	// Var of U[0,1) is 1/12 ≈ 0.0833.
+	if math.Abs(m.Variance()-1.0/12) > 0.005 {
+		t.Errorf("uniform variance = %v, want ~0.0833", m.Variance())
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(11)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("value %d never drawn in 10000 tries", i)
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(13)
+	const n, draws = 7, 70000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(17)
+	var m Moments
+	for i := 0; i < 200000; i++ {
+		m.Add(r.NormFloat64())
+	}
+	if math.Abs(m.Mean()) > 0.02 {
+		t.Errorf("normal mean = %v", m.Mean())
+	}
+	if math.Abs(m.Variance()-1) > 0.03 {
+		t.Errorf("normal variance = %v", m.Variance())
+	}
+}
+
+func TestNormalScaling(t *testing.T) {
+	r := NewRNG(19)
+	var m Moments
+	for i := 0; i < 100000; i++ {
+		m.Add(r.Normal(10, 2))
+	}
+	if math.Abs(m.Mean()-10) > 0.05 {
+		t.Errorf("mean = %v", m.Mean())
+	}
+	if math.Abs(m.StdDev()-2) > 0.05 {
+		t.Errorf("stddev = %v", m.StdDev())
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(23)
+	var m Moments
+	for i := 0; i < 100000; i++ {
+		m.Add(r.Exp(2))
+	}
+	if math.Abs(m.Mean()-0.5) > 0.02 {
+		t.Errorf("exp(2) mean = %v, want 0.5", m.Mean())
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := NewRNG(29)
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if math.Abs(float64(hits)/draws-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate = %v", float64(hits)/draws)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(31)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(37)
+	z := NewZipf(10, 1.0)
+	counts := make([]int, 11)
+	for i := 0; i < 50000; i++ {
+		counts[z.Draw(r)]++
+	}
+	if counts[1] <= counts[5] || counts[5] <= counts[10] {
+		t.Errorf("zipf counts not decreasing: %v", counts[1:])
+	}
+	// P(1)/P(2) should be about 2 for s=1.
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("zipf P(1)/P(2) = %v, want ~2", ratio)
+	}
+}
+
+// Property: Intn(n) is always within bounds for arbitrary positive n.
+func TestPropIntnInBounds(t *testing.T) {
+	r := NewRNG(41)
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package theory implements the sample-size analysis of §1.1-§2: the Guha
+// et al. bound on the uniform sample size required to retain a fraction of
+// a cluster, the matching minimum per-point inclusion probability, the
+// expected size of a two-rate biased rule, and a Monte-Carlo validator for
+// the retention guarantee.
+//
+// The bound (as printed in the paper, originally from the CURE analysis):
+// for a dataset of n points and a cluster u, uniform random sampling needs
+//
+//	s ≥ ξ·n + (n/|u|)·log(1/δ) + (n/|u|)·sqrt(log(1/δ)² + 2·ξ·|u|·log(1/δ))
+//
+// to guarantee that more than ξ·|u| cluster points land in the sample with
+// probability at least 1-δ. Dividing by n gives the minimum per-point
+// inclusion probability p_min a sampling rule must give cluster members —
+// uniform sampling must spend p_min on every point, while a biased rule
+// may concentrate it on the cluster (Theorem 1): a biased rule providing
+// the same in-cluster rate needs a smaller expected sample size exactly
+// when its out-of-cluster rate is below the uniform rate, i.e. when the
+// cluster's inclusion probability exceeds its population share.
+//
+// Worked example from §1.1: n=10^5 region… for δ=0.1, ξ=0.2, |u|=1000 the
+// bound gives p_min ≈ 0.233 — "we need to sample 25% of the dataset".
+package theory
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// GuhaUniformSampleSize returns the minimum uniform sample size s
+// guaranteeing that more than xi·u points of a cluster of size u are
+// sampled with probability ≥ 1-delta, for a dataset of n points.
+func GuhaUniformSampleSize(n, u int, xi, delta float64) (float64, error) {
+	if err := check(n, u, xi, delta); err != nil {
+		return 0, err
+	}
+	p, err := RequiredInclusionProb(u, xi, delta)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) * p, nil
+}
+
+// RequiredInclusionProb returns the minimum per-member inclusion
+// probability p_min for the (xi, delta) retention guarantee on a cluster
+// of size u:
+//
+//	p_min = ξ + log(1/δ)/|u| + sqrt(log(1/δ)² + 2·ξ·|u|·log(1/δ)) / |u|
+//
+// capped at 1. This is the Guha bound divided by n.
+func RequiredInclusionProb(u int, xi, delta float64) (float64, error) {
+	if err := check(u+1, u, xi, delta); err != nil {
+		return 0, err
+	}
+	l := math.Log(1 / delta)
+	uu := float64(u)
+	p := xi + l/uu + math.Sqrt(l*l+2*xi*uu*l)/uu
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// BiasedExpectedSize returns the expected sample size of a two-rate rule
+// that includes cluster members with probability pIn and all other points
+// with probability pOut.
+func BiasedExpectedSize(n, u int, pIn, pOut float64) float64 {
+	return pIn*float64(u) + pOut*float64(n-u)
+}
+
+// MinBiasedSampleSize returns the smallest expected sample size of any
+// two-rate rule meeting the (xi, delta) guarantee on a cluster of size u:
+// the in-cluster rate must reach p_min and the out-of-cluster rate can in
+// principle drop to pOut, so s_R = p_min·u + pOut·(n-u).
+func MinBiasedSampleSize(n, u int, xi, delta, pOut float64) (float64, error) {
+	p, err := RequiredInclusionProb(u, xi, delta)
+	if err != nil {
+		return 0, err
+	}
+	if pOut < 0 || pOut > 1 {
+		return 0, errors.New("theory: pOut out of [0,1]")
+	}
+	return BiasedExpectedSize(n, u, p, pOut), nil
+}
+
+// BiasedBeatsUniform reports whether a biased rule with in-cluster rate
+// pIn and out-of-cluster rate pOut meets the guarantee with a smaller
+// expected sample than uniform sampling needs (Theorem 1's comparison).
+func BiasedBeatsUniform(n, u int, xi, delta, pIn, pOut float64) (bool, error) {
+	pMin, err := RequiredInclusionProb(u, xi, delta)
+	if err != nil {
+		return false, err
+	}
+	if pIn < pMin {
+		return false, nil // no guarantee at all
+	}
+	s, err := GuhaUniformSampleSize(n, u, xi, delta)
+	if err != nil {
+		return false, err
+	}
+	return BiasedExpectedSize(n, u, pIn, pOut) <= s, nil
+}
+
+// SavingsFactor returns s_uniform / s_biased for the same guarantee, with
+// the biased rule spending pOut outside the cluster. With pOut → 0 the
+// factor approaches n/u — the headroom Theorem 1 promises.
+func SavingsFactor(n, u int, xi, delta, pOut float64) (float64, error) {
+	s, err := GuhaUniformSampleSize(n, u, xi, delta)
+	if err != nil {
+		return 0, err
+	}
+	sr, err := MinBiasedSampleSize(n, u, xi, delta, pOut)
+	if err != nil {
+		return 0, err
+	}
+	return s / sr, nil
+}
+
+// RetentionProbability estimates, by Monte-Carlo, the probability that a
+// rule including each of u cluster members independently with probability
+// pIn retains more than xi·u of them. It validates the analytic bounds.
+func RetentionProbability(u int, xi, pIn float64, trials int, rng *stats.RNG) float64 {
+	if trials <= 0 || u <= 0 {
+		return 0
+	}
+	need := int(xi * float64(u))
+	hit := 0
+	for t := 0; t < trials; t++ {
+		kept := 0
+		for i := 0; i < u; i++ {
+			if rng.Bernoulli(pIn) {
+				kept++
+			}
+		}
+		if kept > need {
+			hit++
+		}
+	}
+	return float64(hit) / float64(trials)
+}
+
+func check(n, u int, xi, delta float64) error {
+	if u <= 0 || n < u {
+		return errors.New("theory: need 0 < u <= n")
+	}
+	if xi <= 0 || xi >= 1 {
+		return errors.New("theory: xi must be in (0,1)")
+	}
+	if delta <= 0 || delta >= 1 {
+		return errors.New("theory: delta must be in (0,1)")
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package theory
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestWorkedExampleFromPaper(t *testing.T) {
+	// §1.1: δ=0.1, ξ=0.2, |u|=1000 → "we need to sample 25% of the
+	// dataset". The formula gives p_min ≈ 0.233, i.e. ~23-25%.
+	p, err := RequiredInclusionProb(1000, 0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.22 || p > 0.26 {
+		t.Errorf("p_min = %v, want ≈0.233 (the paper's ~25%%)", p)
+	}
+	s, err := GuhaUniformSampleSize(100000, 1000, 0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-100000*p) > 1e-9 {
+		t.Errorf("sample size %v inconsistent with p_min", s)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		n, u      int
+		xi, delta float64
+	}{
+		{10, 0, 0.5, 0.1},
+		{5, 10, 0.5, 0.1},
+		{10, 5, 0, 0.1},
+		{10, 5, 1, 0.1},
+		{10, 5, 0.5, 0},
+		{10, 5, 0.5, 1},
+	}
+	for _, c := range cases {
+		if _, err := GuhaUniformSampleSize(c.n, c.u, c.xi, c.delta); err == nil {
+			t.Errorf("accepted invalid %+v", c)
+		}
+	}
+}
+
+func TestRequiredProbMonotonicity(t *testing.T) {
+	// Stronger guarantees (higher ξ, lower δ) need higher probability.
+	base, _ := RequiredInclusionProb(1000, 0.2, 0.1)
+	hiXi, _ := RequiredInclusionProb(1000, 0.4, 0.1)
+	loDelta, _ := RequiredInclusionProb(1000, 0.2, 0.01)
+	bigU, _ := RequiredInclusionProb(10000, 0.2, 0.1)
+	if hiXi <= base {
+		t.Errorf("p_min not increasing in xi: %v vs %v", hiXi, base)
+	}
+	if loDelta <= base {
+		t.Errorf("p_min not increasing as delta shrinks: %v vs %v", loDelta, base)
+	}
+	if bigU >= base {
+		t.Errorf("p_min not decreasing in cluster size: %v vs %v", bigU, base)
+	}
+}
+
+func TestRequiredProbCapped(t *testing.T) {
+	// Tiny cluster, harsh guarantee: probability caps at 1.
+	p, err := RequiredInclusionProb(3, 0.9, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("p_min = %v, want capped at 1", p)
+	}
+}
+
+func TestBiasedExpectedSize(t *testing.T) {
+	got := BiasedExpectedSize(1000, 100, 0.5, 0.1)
+	if math.Abs(got-(50+90)) > 1e-12 {
+		t.Errorf("expected size = %v, want 140", got)
+	}
+}
+
+func TestBiasedBeatsUniformIff(t *testing.T) {
+	n, u := 100000, 1000
+	xi, delta := 0.2, 0.1
+	pMin, _ := RequiredInclusionProb(u, xi, delta)
+
+	// Concentrating on the cluster with negligible out-rate wins.
+	win, err := BiasedBeatsUniform(n, u, xi, delta, pMin, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !win {
+		t.Error("focused biased rule should beat uniform")
+	}
+	// Spending the uniform rate everywhere plus extra on the cluster
+	// cannot be smaller.
+	win, err = BiasedBeatsUniform(n, u, xi, delta, 1, pMin+0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win {
+		t.Error("rule spending more than uniform everywhere cannot win")
+	}
+	// Failing the guarantee never wins.
+	win, err = BiasedBeatsUniform(n, u, xi, delta, pMin/2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win {
+		t.Error("rule without guarantee must not be counted as winning")
+	}
+}
+
+func TestSavingsFactorApproachesNOverU(t *testing.T) {
+	n, u := 100000, 1000
+	f, err := SavingsFactor(n, u, 0.2, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-float64(n)/float64(u)) > 1e-9 {
+		t.Errorf("zero out-rate savings = %v, want %v", f, float64(n)/float64(u))
+	}
+	f2, err := SavingsFactor(n, u, 0.2, 0.1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 >= f {
+		t.Errorf("nonzero out-rate must reduce savings: %v vs %v", f2, f)
+	}
+}
+
+func TestRetentionProbabilityValidatesBound(t *testing.T) {
+	// Sampling at p_min must retain the cluster with probability ≥ 1-δ
+	// (the analytic bound is conservative, so the empirical rate should
+	// comfortably exceed it).
+	rng := stats.NewRNG(1)
+	u, xi, delta := 500, 0.2, 0.1
+	pMin, _ := RequiredInclusionProb(u, xi, delta)
+	got := RetentionProbability(u, xi, pMin, 2000, rng)
+	if got < 1-delta {
+		t.Errorf("empirical retention %v below guarantee %v", got, 1-delta)
+	}
+	// Sampling at half p_min must do visibly worse.
+	low := RetentionProbability(u, xi, pMin/2, 2000, rng)
+	if low >= got {
+		t.Errorf("halving the rate did not hurt retention: %v vs %v", low, got)
+	}
+}
+
+func TestRetentionDegenerate(t *testing.T) {
+	rng := stats.NewRNG(2)
+	if RetentionProbability(0, 0.5, 0.5, 100, rng) != 0 {
+		t.Error("u=0 should return 0")
+	}
+	if RetentionProbability(10, 0.5, 1, 100, rng) != 1 {
+		t.Error("p=1 should always retain")
+	}
+}
