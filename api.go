@@ -73,6 +73,10 @@ type SampleOptions struct {
 	// FloorDensity optionally overrides the adaptive density floor used
 	// to keep f(x)^a finite for negative Alpha.
 	FloorDensity float64
+	// Parallelism bounds the workers used to scan and score the dataset:
+	// 0 uses runtime.GOMAXPROCS(0), 1 is the serial reference path. The
+	// drawn sample is identical for every setting.
+	Parallelism int
 }
 
 // Sample is a density-biased sample.
@@ -104,6 +108,7 @@ func BiasedSample(ds Dataset, est *Estimator, opts SampleOptions, rng *RNG) (*Sa
 		TargetSize:   opts.Size,
 		OnePass:      opts.OnePass,
 		FloorDensity: opts.FloorDensity,
+		Parallelism:  opts.Parallelism,
 	}, rng)
 	if err != nil {
 		return nil, err
@@ -134,6 +139,10 @@ type ClusterOptions struct {
 	// NoiseTrim enables CURE-style two-phase outlier elimination sized
 	// for samples that carry background noise.
 	NoiseTrim bool
+	// Parallelism bounds the workers used for the quadratic distance
+	// phases: 0 uses runtime.GOMAXPROCS(0), 1 is the serial reference
+	// path. The clustering is identical for every setting.
+	Parallelism int
 }
 
 // Cluster is one discovered cluster.
@@ -143,7 +152,7 @@ type Cluster = cure.Cluster
 // points (§3.1). The returned clusters carry shrunk representative points
 // describing their shapes.
 func ClusterSample(pts []Point, opts ClusterOptions) ([]Cluster, error) {
-	co := cure.Options{K: opts.K, NumReps: opts.NumReps, Shrink: opts.Shrink}
+	co := cure.Options{K: opts.K, NumReps: opts.NumReps, Shrink: opts.Shrink, Parallelism: opts.Parallelism}
 	if opts.NoiseTrim {
 		n := len(pts)
 		co.TrimAt = n / 3
@@ -163,7 +172,7 @@ func ClusterSample(pts []Point, opts ClusterOptions) ([]Cluster, error) {
 // quadratic cost by roughly the partition count) and their partial
 // clusters merged into the final K.
 func ClusterSamplePartitioned(pts []Point, opts ClusterOptions, partitions int) ([]Cluster, error) {
-	co := cure.Options{K: opts.K, NumReps: opts.NumReps, Shrink: opts.Shrink}
+	co := cure.Options{K: opts.K, NumReps: opts.NumReps, Shrink: opts.Shrink, Parallelism: opts.Parallelism}
 	if opts.NoiseTrim {
 		n := len(pts)
 		co.TrimAt = n / 3

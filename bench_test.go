@@ -9,6 +9,7 @@ package repro
 
 import (
 	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/core"
@@ -130,6 +131,49 @@ func BenchmarkBiasedSample(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDrawParallel measures the exact two-pass draw on 100k 4-d
+// points across worker counts; the drawn sample is identical for every
+// count (see internal/core/parallel_test.go), only wall-clock differs.
+// BENCH_parallel.json records the before/after numbers.
+func BenchmarkDrawParallel(b *testing.B) {
+	rng := stats.NewRNG(99)
+	l := synth.EqualClusters(10, 4, 100000, 0.10, rng)
+	ds := l.Dataset()
+	est, err := kde.Build(ds, kde.Options{NumKernels: 1000}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(strconv.Itoa(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.Options{Alpha: 1, TargetSize: 1000, Parallelism: p}
+				if _, err := core.Draw(ds, est, opts, stats.NewRNG(uint64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDensityBatch measures the amortized batch evaluation path that
+// Draw's scoring loop uses (fused kernel, reusable traversal buffers)
+// against the per-point Density baseline above.
+func BenchmarkDensityBatch(b *testing.B) {
+	ds := benchDataset(100000)
+	rng := stats.NewRNG(1)
+	est, err := kde.Build(ds, kde.Options{NumKernels: 1000}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := ds.Points()[:4096]
+	out := make([]float64, len(pts))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.DensityBatch(pts, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(pts)), "ns/point")
 }
 
 func BenchmarkUniformSample(b *testing.B) {

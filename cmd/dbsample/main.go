@@ -36,6 +36,7 @@ func main() {
 		kernels = flag.Int("kernels", kde.DefaultNumKernels, "number of kernels (biased)")
 		kernel  = flag.String("kernel", "epanechnikov", "kernel function (biased)")
 		onePass = flag.Bool("onepass", false, "use the integrated one-pass variant (biased)")
+		par     = flag.Int("p", 0, "worker parallelism: 0 = all CPUs, 1 = serial (same sample either way)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -81,11 +82,11 @@ func main() {
 		if kern == nil {
 			fatal("unknown kernel %q", *kernel)
 		}
-		est, err := kde.Build(ds, kde.Options{NumKernels: *kernels, Kernel: kern}, rng)
+		est, err := kde.Build(ds, kde.Options{NumKernels: *kernels, Kernel: kern, Parallelism: *par}, rng)
 		if err != nil {
 			fatal("building estimator: %v", err)
 		}
-		s, err := core.Draw(ds, est, core.Options{Alpha: *alpha, TargetSize: *size, OnePass: *onePass}, rng)
+		s, err := core.Draw(ds, est, core.Options{Alpha: *alpha, TargetSize: *size, OnePass: *onePass, Parallelism: *par}, rng)
 		if err != nil {
 			fatal("sampling: %v", err)
 		}

@@ -25,6 +25,7 @@ func main() {
 		all   = flag.Bool("all", false, "run every experiment")
 		list  = flag.Bool("list", false, "list experiment ids")
 		quick = flag.Bool("quick", false, "reduced workload sizes")
+		par   = flag.Int("p", 0, "worker parallelism for the parallel experiments: 0 = all CPUs, 1 = serial")
 		seed  = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -35,7 +36,7 @@ func main() {
 		}
 		return
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Parallelism: *par}
 	var ids []string
 	switch {
 	case *all:

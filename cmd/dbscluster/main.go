@@ -37,6 +37,7 @@ func main() {
 		kernels = flag.Int("kernels", kde.DefaultNumKernels, "number of kernels")
 		trim    = flag.Bool("trim", true, "enable CURE noise-trim phases")
 		assign  = flag.String("assign", "", "write full-dataset labels to this file (cure only)")
+		par     = flag.Int("p", 0, "worker parallelism: 0 = all CPUs, 1 = serial (same clustering either way)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -52,11 +53,11 @@ func main() {
 	var weighted []dataset.WeightedPoint
 	switch *method {
 	case "biased":
-		est, err := kde.Build(ds, kde.Options{NumKernels: *kernels}, rng)
+		est, err := kde.Build(ds, kde.Options{NumKernels: *kernels, Parallelism: *par}, rng)
 		if err != nil {
 			fatal("building estimator: %v", err)
 		}
-		s, err := core.Draw(ds, est, core.Options{Alpha: *alpha, TargetSize: *size}, rng)
+		s, err := core.Draw(ds, est, core.Options{Alpha: *alpha, TargetSize: *size, Parallelism: *par}, rng)
 		if err != nil {
 			fatal("sampling: %v", err)
 		}
@@ -81,7 +82,7 @@ func main() {
 		for i, wp := range weighted {
 			pts[i] = wp.P
 		}
-		opts := cure.Options{K: *k, NumReps: 10, Shrink: 0.3}
+		opts := cure.Options{K: *k, NumReps: 10, Shrink: 0.3, Parallelism: *par}
 		if *trim {
 			opts.TrimAt = len(pts) / 3
 			opts.TrimMinSize = 3

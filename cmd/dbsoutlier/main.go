@@ -30,6 +30,7 @@ func main() {
 		method  = flag.String("method", "approx", "detection method: exact|approx|estimate")
 		kernels = flag.Int("kernels", kde.DefaultNumKernels, "number of kernels (approx/estimate)")
 		factor  = flag.Float64("factor", 3, "candidate threshold factor (approx)")
+		par     = flag.Int("par", 0, "worker parallelism: 0 = all CPUs, 1 = serial (same outliers either way)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -51,6 +52,7 @@ func main() {
 	default:
 		fatal("set -p or -frac")
 	}
+	prm.Parallelism = *par
 	rng := stats.NewRNG(*seed)
 
 	switch *method {
@@ -68,7 +70,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "exact: %d DB(p=%d, k=%g) outliers\n", len(idx), prm.P, prm.K)
 	case "approx":
-		est, err := kde.Build(ds, kde.Options{NumKernels: *kernels}, rng)
+		est, err := kde.Build(ds, kde.Options{NumKernels: *kernels, Parallelism: *par}, rng)
 		if err != nil {
 			fatal("building estimator: %v", err)
 		}
@@ -82,7 +84,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "approx: %d outliers from %d candidates, %d data passes (+1 estimator pass)\n",
 			len(res.Outliers), res.NumCandidates, res.DataPasses)
 	case "estimate":
-		est, err := kde.Build(ds, kde.Options{NumKernels: *kernels}, rng)
+		est, err := kde.Build(ds, kde.Options{NumKernels: *kernels, Parallelism: *par}, rng)
 		if err != nil {
 			fatal("building estimator: %v", err)
 		}

@@ -37,13 +37,37 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
 // DensityEstimator supplies the local density of the dataset around a
-// point. Implementations must return non-negative finite values.
+// point. Implementations must return non-negative finite values, and must
+// be safe for concurrent Density calls when sampling runs with a
+// Parallelism other than 1 (a pure function of the point, as every
+// estimator in this repository is, qualifies).
 type DensityEstimator interface {
 	Density(p geom.Point) float64
+}
+
+// DensityBatcher is optionally implemented by estimators that can evaluate
+// a whole block of points at once (kde.Estimator does), amortizing
+// traversal state across the block. The chunked scans prefer it over
+// per-point Density calls.
+type DensityBatcher interface {
+	DensityBatch(pts []geom.Point, out []float64)
+}
+
+// evalDensities fills out[:len(pts)] with est's density at each point,
+// through the batch interface when available.
+func evalDensities(est DensityEstimator, pts []geom.Point, out []float64) {
+	if b, ok := est.(DensityBatcher); ok {
+		b.DensityBatch(pts, out)
+		return
+	}
+	for i, p := range pts {
+		out[i] = est.Density(p)
+	}
 }
 
 // centersEstimator is optionally implemented by estimators that expose
@@ -81,6 +105,22 @@ type Options struct {
 	// case however we only compute an approximation of the sampling
 	// probability"). It requires an estimator exposing Centers and N.
 	OnePass bool
+
+	// Parallelism bounds the workers the chunked scans run on:
+	// 0 uses runtime.GOMAXPROCS(0), 1 is the serial reference path.
+	// For a fixed seed and BlockSize the sample is bit-for-bit identical
+	// at every setting — block boundaries depend only on the dataset size,
+	// each block consumes its own split RNG stream keyed by block index,
+	// and per-block results are reduced in block order (see DESIGN.md,
+	// "Parallel execution model").
+	Parallelism int
+
+	// BlockSize is the number of points per scan block
+	// (0 = parallel.DefaultBlockSize). It is part of the sampling run's
+	// identity: changing it reassigns points to RNG streams and therefore
+	// changes which points are drawn, while changing Parallelism never
+	// does.
+	BlockSize int
 }
 
 // Sample is the result of a biased-sampling run.
@@ -118,6 +158,14 @@ func (s *Sample) PlainPoints() []geom.Point {
 // The exact variant makes two passes: one to compute k_a = Σ f'(x_i) and
 // one to flip the inclusion coin per point. With OnePass set it makes a
 // single pass, approximating k_a from the estimator's centers.
+//
+// Both passes are chunked scans (dataset.ScanBlocks): the coin-flip pass
+// derives one RNG stream per block from a single draw of rng
+// (stats.RNG.Splits), flips each block's coins from its own stream, and
+// concatenates the per-block selections in block order. The sample is
+// therefore a function of (dataset, estimator, opts, seed) only — running
+// with 1 worker or 8 returns byte-identical points, weights, Norm, and
+// Saturated. rng advances by a fixed small amount, not once per point.
 func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG) (*Sample, error) {
 	if est == nil {
 		return nil, errors.New("core: nil density estimator")
@@ -138,6 +186,7 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 	}
 
 	var norm float64
+	var densCache []float64
 	passes := 0
 	if opts.OnePass {
 		ce, ok := est.(centersEstimator)
@@ -150,8 +199,18 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 			return nil, err
 		}
 	} else {
+		// For in-memory datasets the densities computed by the
+		// normalization pass are cached (8 bytes per point — negligible
+		// next to the resident points) and reused by the coin-flip pass,
+		// halving the dominant cost of the exact algorithm. Density is a
+		// pure function of the point, so the cached and recomputed values
+		// are bit-identical and the sample is unchanged; streaming
+		// datasets keep the constant-memory recomputation.
+		if _, ok := ds.(*dataset.InMemory); ok {
+			densCache = make([]float64, n)
+		}
 		var err error
-		norm, err = ExactNorm(ds, est, opts.Alpha, floor)
+		norm, err = exactNorm(ds, est, opts.Alpha, floor, opts.Parallelism, opts.BlockSize, densCache)
 		if err != nil {
 			return nil, err
 		}
@@ -161,37 +220,110 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 		return nil, fmt.Errorf("core: degenerate normalizer k_a = %v", norm)
 	}
 
+	blockSize := parallel.BlockSize(opts.BlockSize)
+	numBlocks := parallel.NumBlocks(n, blockSize)
+	streams := rng.Splits(numBlocks)
+
+	type blockSample struct {
+		points    []dataset.WeightedPoint
+		saturated int
+	}
+	perBlock := make([]blockSample, numBlocks)
 	b := float64(opts.TargetSize)
-	out := &Sample{Norm: norm}
-	err := ds.Scan(func(p geom.Point) error {
-		fp := biasedWeight(est.Density(p), opts.Alpha, floor)
-		prob := b * fp / norm
-		if prob >= 1 {
-			prob = 1
-			out.Saturated++
+	err := dataset.ScanBlocks(ds, blockSize, opts.Parallelism, func(block, start int, pts []geom.Point) error {
+		var dens []float64
+		if densCache != nil {
+			dens = densCache[start : start+len(pts)]
+		} else {
+			dens = make([]float64, len(pts))
+			evalDensities(est, pts, dens)
 		}
-		if rng.Bernoulli(prob) {
-			out.Points = append(out.Points, dataset.WeightedPoint{P: p.Clone(), W: 1 / prob})
+		brng := streams[block]
+		var sel []dataset.WeightedPoint
+		sat := 0
+		for i, p := range pts {
+			fp := biasedWeight(dens[i], opts.Alpha, floor)
+			prob := b * fp / norm
+			if prob >= 1 {
+				prob = 1
+				sat++
+			}
+			if brng.Bernoulli(prob) {
+				sel = append(sel, dataset.WeightedPoint{P: p.Clone(), W: 1 / prob})
+			}
 		}
+		perBlock[block] = blockSample{points: sel, saturated: sat}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	passes++
-	out.DataPasses = passes
+
+	out := &Sample{Norm: norm, DataPasses: passes}
+	total := 0
+	for i := range perBlock {
+		total += len(perBlock[i].points)
+	}
+	out.Points = make([]dataset.WeightedPoint, 0, total)
+	for i := range perBlock {
+		out.Points = append(out.Points, perBlock[i].points...)
+		out.Saturated += perBlock[i].saturated
+	}
 	return out, nil
 }
 
-// ExactNorm computes k_a = Σ_{x ∈ ds} max(f(x), floor)^a in one pass.
+// ExactNorm computes k_a = Σ_{x ∈ ds} max(f(x), floor)^a in one pass,
+// serially. It equals ExactNormParallel at any parallelism exactly: the
+// sum is blocked the same way in both, so the float additions happen in
+// the same order.
 func ExactNorm(ds dataset.Dataset, est DensityEstimator, alpha, floor float64) (float64, error) {
-	var k float64
-	err := ds.Scan(func(p geom.Point) error {
-		k += biasedWeight(est.Density(p), alpha, floor)
+	return ExactNormParallel(ds, est, alpha, floor, 1, 0)
+}
+
+// ExactNormParallel computes k_a with a chunked scan on the given worker
+// budget. Each block accumulates its partial sum over its points in index
+// order, and the partials are reduced in block order — an ordered
+// reduction, not atomic adds — so the result is bit-for-bit identical for
+// every parallelism (floating-point addition is not associative; a
+// completion-order or atomic reduction would make k_a depend on goroutine
+// scheduling).
+func ExactNormParallel(ds dataset.Dataset, est DensityEstimator, alpha, floor float64, parallelism, blockSize int) (float64, error) {
+	return exactNorm(ds, est, alpha, floor, parallelism, blockSize, nil)
+}
+
+// exactNorm is ExactNormParallel with an optional density cache: when
+// cache is non-nil (length ds.Len()), each block stores its raw densities
+// at the block's global offset so a later pass can reuse them. Blocks
+// write disjoint ranges, so the cache needs no synchronization.
+func exactNorm(ds dataset.Dataset, est DensityEstimator, alpha, floor float64, parallelism, blockSize int, cache []float64) (float64, error) {
+	if est == nil {
+		return 0, errors.New("core: nil density estimator")
+	}
+	n := ds.Len()
+	blockSize = parallel.BlockSize(blockSize)
+	partials := make([]float64, parallel.NumBlocks(n, blockSize))
+	err := dataset.ScanBlocks(ds, blockSize, parallelism, func(block, start int, pts []geom.Point) error {
+		var dens []float64
+		if cache != nil {
+			dens = cache[start : start+len(pts)]
+		} else {
+			dens = make([]float64, len(pts))
+		}
+		evalDensities(est, pts, dens)
+		var k float64
+		for _, f := range dens {
+			k += biasedWeight(f, alpha, floor)
+		}
+		partials[block] = k
 		return nil
 	})
 	if err != nil {
 		return 0, err
+	}
+	var k float64
+	for _, p := range partials {
+		k += p
 	}
 	return k, nil
 }

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/kdtree"
+	"repro/internal/parallel"
 )
 
 // Options configure one clustering run.
@@ -56,6 +57,15 @@ type Options struct {
 	// mirroring CURE's second phase (small groups of residual noise).
 	FinalTrimAt      int
 	FinalTrimMinSize int
+
+	// Parallelism bounds the workers used for the quadratic distance
+	// phases (initial nearest-neighbour table, post-trim repairs, and
+	// partition pre-clustering in RunPartitioned): 0 uses
+	// runtime.GOMAXPROCS(0), 1 is the serial reference path. Each parallel
+	// unit writes only its own slot, so the clustering is identical for
+	// every setting. The merge sequence itself is inherently serial and
+	// unaffected.
+	Parallelism int
 }
 
 // Cluster is one output cluster.
@@ -126,8 +136,10 @@ func Run(pts []geom.Point, opts Options) ([]Cluster, error) {
 	}
 	alive := n
 
-	// Initial nearest neighbours: O(n²) singleton distances.
-	for i := range ws {
+	// Initial nearest neighbours: O(n²) singleton distances. Each row i
+	// writes only ws[i] and reads the means (fixed before this point), so
+	// the rows parallelize without changing the table.
+	parallel.Do(n, opts.Parallelism, func(i int) error {
 		ws[i].nn, ws[i].nnD = -1, math.Inf(1)
 		for j := range ws {
 			if i == j {
@@ -137,7 +149,8 @@ func Run(pts []geom.Point, opts Options) ([]Cluster, error) {
 				ws[i].nn, ws[i].nnD = j, d
 			}
 		}
-	}
+		return nil
+	})
 
 	trimmed := opts.TrimAt <= 0 // no trim requested ⇒ treat as done
 	finalTrimmed := opts.FinalTrimAt <= 0
@@ -147,7 +160,7 @@ func Run(pts []geom.Point, opts Options) ([]Cluster, error) {
 			alive -= removed
 			trimmed = true
 			if removed > 0 {
-				repairNN(ws)
+				repairNN(ws, opts.Parallelism)
 			}
 			if alive <= opts.K {
 				break
@@ -158,7 +171,7 @@ func Run(pts []geom.Point, opts Options) ([]Cluster, error) {
 			alive -= removed
 			finalTrimmed = true
 			if removed > 0 {
-				repairNN(ws)
+				repairNN(ws, opts.Parallelism)
 			}
 			if alive <= opts.K {
 				break
@@ -261,13 +274,15 @@ func recomputeNN(ws []work, c int) {
 }
 
 // repairNN recomputes every cached neighbour after a trim pass removed
-// clusters.
-func repairNN(ws []work) {
-	for c := range ws {
+// clusters. Each recomputation writes only its own cluster's cache and
+// reads state that is frozen during the repair, so the rows parallelize.
+func repairNN(ws []work, parallelism int) {
+	parallel.Do(len(ws), parallelism, func(c int) error {
 		if ws[c].alive {
 			recomputeNN(ws, c)
 		}
-	}
+		return nil
+	})
 }
 
 // trim kills live clusters with fewer than minSize members and returns how

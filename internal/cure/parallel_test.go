@@ -1,0 +1,79 @@
+package cure
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// sameClusters asserts two clusterings are identical: same cluster count,
+// and per cluster the same members, means, and representatives.
+func sameClusters(t *testing.T, a, b []Cluster, label string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d clusters vs %d", label, len(a), len(b))
+	}
+	for ci := range a {
+		if len(a[ci].Members) != len(b[ci].Members) {
+			t.Fatalf("%s: cluster %d has %d members vs %d", label, ci, len(a[ci].Members), len(b[ci].Members))
+		}
+		for k := range a[ci].Members {
+			if a[ci].Members[k] != b[ci].Members[k] {
+				t.Fatalf("%s: cluster %d member %d: %d vs %d", label, ci, k, a[ci].Members[k], b[ci].Members[k])
+			}
+		}
+		if !a[ci].Mean.Equal(b[ci].Mean) {
+			t.Fatalf("%s: cluster %d mean %v vs %v", label, ci, a[ci].Mean, b[ci].Mean)
+		}
+		if len(a[ci].Reps) != len(b[ci].Reps) {
+			t.Fatalf("%s: cluster %d rep count %d vs %d", label, ci, len(a[ci].Reps), len(b[ci].Reps))
+		}
+		for k := range a[ci].Reps {
+			if !a[ci].Reps[k].Equal(b[ci].Reps[k]) {
+				t.Fatalf("%s: cluster %d rep %v vs %v", label, ci, a[ci].Reps[k], b[ci].Reps[k])
+			}
+		}
+	}
+}
+
+// The parallel distance phases write disjoint slots, so the clustering must
+// be identical for every worker count.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	rng := stats.NewRNG(11)
+	pts, _ := blobs(5, 80, rng)
+	base := Options{K: 5, TrimAt: 150, Parallelism: 1}
+	ref, err := Run(pts, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 8} {
+		opts := base
+		opts.Parallelism = workers
+		got, err := Run(pts, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameClusters(t, ref, got, "run")
+	}
+}
+
+// RunPartitioned concatenates partition results in partition order, so the
+// same invariant holds with partitioning enabled.
+func TestRunPartitionedDeterministicAcrossWorkers(t *testing.T) {
+	rng := stats.NewRNG(12)
+	pts, _ := blobs(6, 70, rng)
+	base := Options{K: 6, Parallelism: 1}
+	ref, err := RunPartitioned(pts, base, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		opts := base
+		opts.Parallelism = workers
+		got, err := RunPartitioned(pts, opts, 4, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameClusters(t, ref, got, "partitioned")
+	}
+}

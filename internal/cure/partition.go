@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/geom"
+	"repro/internal/parallel"
 )
 
 // RunPartitioned clusters pts with CURE's partitioning speedup (Guha et
@@ -38,10 +39,16 @@ func RunPartitioned(pts []geom.Point, opts Options, partitions, reduction int) (
 
 	// Phase 1: pre-cluster each partition down to size/reduction groups.
 	// Trim options apply per partition, scaled to the partition size;
-	// member indices are remapped from partition-local to global.
+	// member indices are remapped from partition-local to global. The
+	// partition boundaries depend only on (len(pts), partitions) and each
+	// pre-clustering is deterministic, so the partitions run concurrently
+	// and their results concatenate in partition order — the output is the
+	// same for every worker count.
 	per := (len(pts) + partitions - 1) / partitions
-	var partials []Cluster
-	for start := 0; start < len(pts); start += per {
+	numParts := (len(pts) + per - 1) / per
+	partClusters := make([][]Cluster, numParts)
+	err := parallel.Do(numParts, opts.Parallelism, func(pi int) error {
+		start := pi * per
 		end := start + per
 		if end > len(pts) {
 			end = len(pts)
@@ -53,6 +60,9 @@ func RunPartitioned(pts []geom.Point, opts Options, partitions, reduction int) (
 		}
 		popts := opts
 		popts.K = target
+		// Partition pre-clusterings nest inside the partition workers;
+		// keep them serial to avoid oversubscribing.
+		popts.Parallelism = 1
 		if opts.TrimAt > 0 {
 			popts.TrimAt = opts.TrimAt / partitions
 			if popts.TrimAt <= target {
@@ -62,14 +72,22 @@ func RunPartitioned(pts []geom.Point, opts Options, partitions, reduction int) (
 		popts.FinalTrimAt = 0 // the final elimination runs in phase 2
 		clusters, err := Run(part, popts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, c := range clusters {
 			for j := range c.Members {
 				c.Members[j] += start
 			}
-			partials = append(partials, c)
 		}
+		partClusters[pi] = clusters
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var partials []Cluster
+	for _, cs := range partClusters {
+		partials = append(partials, cs...)
 	}
 
 	// Phase 2: merge the partial clusters under the same linkage,
@@ -103,9 +121,10 @@ func mergePartials(pts []geom.Point, seeds []Cluster, opts Options) ([]Cluster, 
 		}
 	}
 	alive := len(ws)
-	for i := range ws {
+	parallel.Do(len(ws), opts.Parallelism, func(i int) error {
 		recomputeNN(ws, i)
-	}
+		return nil
+	})
 	finalTrimmed := opts.FinalTrimAt <= 0
 	finalMin := opts.FinalTrimMinSize
 	if !finalTrimmed && finalMin == 0 {
@@ -117,7 +136,7 @@ func mergePartials(pts []geom.Point, seeds []Cluster, opts Options) ([]Cluster, 
 			alive -= removed
 			finalTrimmed = true
 			if removed > 0 {
-				repairNN(ws)
+				repairNN(ws, opts.Parallelism)
 			}
 			if alive <= opts.K {
 				break

@@ -1,0 +1,232 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+// RangeScanner is implemented by datasets that can scan an arbitrary
+// index range [start, end) independently of a full pass. ScanRange must be
+// safe for concurrent use — each call owns its own cursor (a slice index,
+// a private file handle) — which is what allows block scans to read many
+// ranges of one dataset at the same time. ScanRange does not count toward
+// Passes; the pass bookkeeping belongs to the orchestrating scan.
+type RangeScanner interface {
+	Dataset
+	ScanRange(start, end int, fn func(p geom.Point) error) error
+}
+
+// passCounter lets ScanBlocks charge exactly one logical pass to the
+// dataset types that track passes.
+type passCounter interface{ addPass() }
+
+func (m *InMemory) addPass()    { m.passes++ }
+func (fb *FileBacked) addPass() { fb.passes++ }
+
+// ScanRange implements RangeScanner over the backing slice.
+func (m *InMemory) ScanRange(start, end int, fn func(p geom.Point) error) error {
+	if err := checkRange(start, end, len(m.pts)); err != nil {
+		return err
+	}
+	for _, p := range m.pts[start:end] {
+		if err := fn(p); err != nil {
+			if errors.Is(err, ErrStopScan) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanRange implements RangeScanner by opening a private handle, seeking
+// to the range start, and streaming the rows through a buffered reader, so
+// concurrent block scans each read ahead within their own region of the
+// file instead of interleaving one-point reads.
+func (fb *FileBacked) ScanRange(start, end int, fn func(p geom.Point) error) error {
+	if err := checkRange(start, end, fb.count); err != nil {
+		return err
+	}
+	if start == end {
+		return nil
+	}
+	f, err := os.Open(fb.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rowSize := 8 * fb.dims
+	if _, err := f.Seek(int64(16+start*rowSize), io.SeekStart); err != nil {
+		return err
+	}
+	bufSize := (end - start) * rowSize
+	if bufSize > 1<<20 {
+		bufSize = 1 << 20
+	}
+	br := bufio.NewReaderSize(f, bufSize)
+	row := make([]byte, rowSize)
+	p := make(geom.Point, fb.dims)
+	for i := start; i < end; i++ {
+		if _, err := io.ReadFull(br, row); err != nil {
+			return fmt.Errorf("dataset: %s: point %d: %w", fb.path, i, err)
+		}
+		for j := range p {
+			p[j] = math.Float64frombits(binary.LittleEndian.Uint64(row[8*j:]))
+		}
+		if err := fn(p); err != nil {
+			if errors.Is(err, ErrStopScan) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func checkRange(start, end, n int) error {
+	if start < 0 || end < start || end > n {
+		return fmt.Errorf("dataset: range [%d, %d) out of [0, %d)", start, end, n)
+	}
+	return nil
+}
+
+// blockBuf is the reusable per-block point buffer for datasets that cannot
+// hand out slices of their own storage: one flat coordinate array with the
+// points aliased into it.
+type blockBuf struct {
+	coords []float64
+	pts    []geom.Point
+}
+
+var blockBufPool = sync.Pool{New: func() interface{} { return new(blockBuf) }}
+
+func (b *blockBuf) fit(n, dims int) {
+	if cap(b.coords) < n*dims {
+		b.coords = make([]float64, n*dims)
+	}
+	b.coords = b.coords[:n*dims]
+	if cap(b.pts) < n {
+		b.pts = make([]geom.Point, n)
+	}
+	b.pts = b.pts[:n]
+	for i := range b.pts {
+		b.pts[i] = geom.Point(b.coords[i*dims : (i+1)*dims])
+	}
+}
+
+// ScanBlocks performs one logical pass over ds as a sequence of index
+// blocks, invoking fn(block, start, pts) once per block with the block's
+// points. Blocks are fixed by the dataset length and block size alone
+// (parallel.BlockRange), never by the worker count, so a reduction that
+// combines per-block results in block order is deterministic for any
+// parallelism.
+//
+// With parallelism other than 1 and a RangeScanner dataset, blocks run
+// concurrently on a bounded worker pool and fn must be safe for concurrent
+// invocation. The pts slice (and its points) is only valid during the call;
+// retain with Clone. Any other Dataset falls back to a single sequential
+// scan that buffers one block at a time (fn is then called serially, in
+// block order, whatever the requested parallelism).
+//
+// The whole call counts as one pass. A block callback returning ErrStopScan
+// stops the scheduling of further blocks and ScanBlocks returns nil; any
+// other error aborts the scan and is returned.
+func ScanBlocks(ds Dataset, blockSize, parallelism int, fn func(block, start int, pts []geom.Point) error) error {
+	n := ds.Len()
+	if pc, ok := ds.(passCounter); ok {
+		pc.addPass()
+	}
+	blockSize = parallel.BlockSize(blockSize)
+
+	if mem, ok := ds.(*InMemory); ok {
+		// Blocks are subslices of the backing array: zero copies.
+		pts := mem.pts
+		return stopToNil(parallel.Blocks(n, blockSize, parallelism, func(b, start, end int) error {
+			return fn(b, start, pts[start:end])
+		}))
+	}
+
+	if rs, ok := ds.(RangeScanner); ok {
+		dims := ds.Dims()
+		return stopToNil(parallel.Blocks(n, blockSize, parallelism, func(b, start, end int) error {
+			buf := blockBufPool.Get().(*blockBuf)
+			defer blockBufPool.Put(buf)
+			buf.fit(end-start, dims)
+			i := 0
+			if err := rs.ScanRange(start, end, func(p geom.Point) error {
+				copy(buf.pts[i], p)
+				i++
+				return nil
+			}); err != nil {
+				return err
+			}
+			if i != end-start {
+				return fmt.Errorf("dataset: block %d yielded %d of %d points", b, i, end-start)
+			}
+			return fn(b, start, buf.pts)
+		}))
+	}
+
+	// Fallback: one sequential scan, buffered block by block. Parallelism
+	// is ignored — without range access there is no safe way to split the
+	// pass — but block boundaries and callback order match the parallel
+	// layout exactly, so results are identical.
+	buf := blockBufPool.Get().(*blockBuf)
+	defer blockBufPool.Put(buf)
+	dims := ds.Dims()
+	block, fill := 0, 0
+	stopped := false
+	err := ds.Scan(func(p geom.Point) error {
+		if fill == 0 {
+			start, end := parallel.BlockRange(block, n, blockSize)
+			buf.fit(end-start, dims)
+		}
+		copy(buf.pts[fill], p)
+		fill++
+		if fill == len(buf.pts) {
+			start, _ := parallel.BlockRange(block, n, blockSize)
+			if err := fn(block, start, buf.pts); err != nil {
+				if errors.Is(err, ErrStopScan) {
+					stopped = true
+				}
+				return err
+			}
+			block++
+			fill = 0
+		}
+		return nil
+	})
+	if stopped {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if fill > 0 {
+		// The dataset yielded fewer points than Len() promised; hand over
+		// the partial tail block rather than dropping it.
+		start, _ := parallel.BlockRange(block, n, blockSize)
+		if err := fn(block, start, buf.pts[:fill]); err != nil && !errors.Is(err, ErrStopScan) {
+			return err
+		}
+	}
+	return nil
+}
+
+// stopToNil converts a block callback's ErrStopScan into a clean stop, the
+// same contract Scan has for its callback.
+func stopToNil(err error) error {
+	if errors.Is(err, ErrStopScan) {
+		return nil
+	}
+	return err
+}

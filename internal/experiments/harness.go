@@ -24,6 +24,10 @@ type Config struct {
 	Seed uint64
 	// Quick shrinks dataset and sweep sizes for tests.
 	Quick bool
+	// Parallelism bounds the workers for the experiments that exercise
+	// the parallel execution layer (0 = all CPUs, 1 = serial). Results
+	// never depend on it; only wall-clock does.
+	Parallelism int
 }
 
 // Table is a formatted experiment result.

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/kde"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+func init() {
+	register("parallel", "parallel draw throughput: points/sec and speedup vs one worker", parallelExp)
+}
+
+// parallelExp measures the exact two-pass biased draw under the parallel
+// execution layer. Every worker count draws from the same seed and the
+// samples are checked to be identical — the layer's core guarantee — while
+// the table reports wall-clock, scan throughput, and speedup over the
+// serial reference. cfg.Parallelism (dbsbench -p), when above the default
+// sweep, is measured as an extra row.
+func parallelExp(cfg Config) (*Table, error) {
+	n := 100000
+	if cfg.Quick {
+		n = 20000
+	}
+	setup := stats.NewRNG(cfg.Seed)
+	l := synth.EqualClusters(10, 4, n, 0.10, setup)
+	ds := l.Dataset()
+	est, err := kde.Build(ds, kde.Options{NumKernels: 500}, setup)
+	if err != nil {
+		return nil, err
+	}
+
+	workers := []int{1, 2, 4}
+	max := cfg.Parallelism
+	if max <= 0 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	if max > workers[len(workers)-1] {
+		workers = append(workers, max)
+	}
+
+	t := &Table{
+		Columns: []string{"workers", "sec", "points/sec", "speedup", "same sample"},
+		Notes: []string{
+			fmt.Sprintf("exact two-pass draw, n = %d, d = 4, a = 1, b = 1000, 500 kernels", n),
+			fmt.Sprintf("GOMAXPROCS = %d; speedup is wall-clock vs the workers=1 row", runtime.GOMAXPROCS(0)),
+		},
+	}
+	var ref *core.Sample
+	var refSec float64
+	for _, p := range workers {
+		var s *core.Sample
+		d, err := timed(func() error {
+			var derr error
+			s, derr = core.Draw(ds, est, core.Options{Alpha: 1, TargetSize: 1000, Parallelism: p}, stats.NewRNG(cfg.Seed))
+			return derr
+		})
+		if err != nil {
+			return nil, err
+		}
+		sec := d.Seconds()
+		identical := "ref"
+		if ref == nil {
+			ref, refSec = s, sec
+		} else {
+			identical = "yes"
+			if !sameDraw(ref, s) {
+				identical = "NO"
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(p), secs(d),
+			fmt.Sprintf("%.0f", float64(ds.Len())/sec),
+			fmt.Sprintf("%.2fx", refSec/sec),
+			identical,
+		})
+	}
+	return t, nil
+}
+
+// sameDraw reports whether two draws are byte-identical in every field the
+// determinism guarantee covers.
+func sameDraw(a, b *core.Sample) bool {
+	if a.Norm != b.Norm || a.Saturated != b.Saturated || len(a.Points) != len(b.Points) {
+		return false
+	}
+	for i := range a.Points {
+		if a.Points[i].W != b.Points[i].W || !a.Points[i].P.Equal(b.Points[i].P) {
+			return false
+		}
+	}
+	return true
+}

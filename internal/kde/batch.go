@@ -1,0 +1,120 @@
+package kde
+
+import "repro/internal/geom"
+
+// DensityBatch evaluates the density at every point of pts into
+// out[:len(pts)], equivalent to calling Density per point but built for
+// the block-scan hot path. Two ingredients make it fast:
+//
+//   - For kernels with true compact support (every profile except
+//     Gaussian) the product kernel vanishes outside the axis-aligned box
+//     p ± sup·h, so the center tree is pruned with the box itself rather
+//     than the circumscribed ball Density uses — admitting a factor
+//     ~(πd/2)^(d/2)/Γ(d/2+1) fewer candidates as dimension grows — and
+//     leaf points are fed straight into the kernel without a distance
+//     test (out-of-box centers contribute exact zeros).
+//   - The traversal reuses one leaf-range buffer and node stack across
+//     the batch (no per-query allocation, no per-center closure call),
+//     and the Epanechnikov kernel — the paper's default — is evaluated
+//     with a fused product loop instead of two interface calls per
+//     center per dimension.
+//
+// The method allocates only its per-call scratch, so concurrent calls on
+// the same Estimator (one per scan block) are safe. Results are a pure
+// function of the inputs — identical for any batching or concurrency.
+// Floating-point visit order differs from Density's recursive traversal,
+// so the two agree to rounding, not bit-for-bit.
+func (e *Estimator) DensityBatch(pts []geom.Point, out []float64) {
+	if len(out) < len(pts) {
+		panic("kde: DensityBatch output shorter than input")
+	}
+	switch e.kernel.(type) {
+	case Epanechnikov, Biweight, Triangular, Uniform:
+		e.compactBatch(pts, out)
+	default:
+		e.ballBatch(pts, out)
+	}
+}
+
+// compactBatch is the box-pruned path for compactly supported kernels.
+func (e *Estimator) compactBatch(pts []geom.Point, out []float64) {
+	_, epan := e.kernel.(Epanechnikov)
+	var leaves, stack []int32
+	for i, p := range pts {
+		if p.Dims() != e.dims {
+			panic("kde: query dimension mismatch")
+		}
+		leaves, stack = e.tree.AppendBoxLeaves(p, e.boxReach, leaves[:0], stack)
+		var sum float64
+		for l := 0; l < len(leaves); l += 2 {
+			idx := e.tree.Indices(leaves[l], leaves[l+1])
+			if epan {
+				sum += e.epanechnikovSum(idx, p)
+			} else {
+				for _, ci := range idx {
+					sum += e.kernelAt(int(ci), p)
+				}
+			}
+		}
+		out[i] = e.weight * sum
+	}
+}
+
+// ballBatch is the truncation-radius path for kernels with unbounded
+// support (Gaussian): the Euclidean cutoff at e.reach is part of the
+// estimate's definition there, so it must filter exactly as Density does.
+func (e *Estimator) ballBatch(pts []geom.Point, out []float64) {
+	var buf, stack []int32
+	for i, p := range pts {
+		if p.Dims() != e.dims {
+			panic("kde: query dimension mismatch")
+		}
+		buf, stack = e.tree.WithinAppend(p, e.reach, buf[:0], stack)
+		var sum float64
+		for _, ci := range buf {
+			sum += e.kernelAt(int(ci), p)
+		}
+		out[i] = e.weight * sum
+	}
+}
+
+// epanechnikovSum accumulates the unit-mass product-kernel values of the
+// given centers at p with the Epanechnikov profile inlined:
+// K(u) = 0.75·(1-u²) on [-1, 1].
+func (e *Estimator) epanechnikovSum(centers []int32, p geom.Point) float64 {
+	d := e.dims
+	inv := e.invH
+	var sum float64
+	if e.invScale != nil {
+		for _, ci := range centers {
+			c := e.centers[ci]
+			is := e.invScale[ci]
+			v := 1.0
+			for j := 0; j < d; j++ {
+				ih := inv[j] * is
+				u := (p[j] - c[j]) * ih
+				if u < -1 || u > 1 {
+					v = 0
+					break
+				}
+				v *= 0.75 * (1 - u*u) * ih
+			}
+			sum += v
+		}
+		return sum
+	}
+	for _, ci := range centers {
+		c := e.centers[ci]
+		v := 1.0
+		for j := 0; j < d; j++ {
+			u := (p[j] - c[j]) * inv[j]
+			if u < -1 || u > 1 {
+				v = 0
+				break
+			}
+			v *= 0.75 * (1 - u*u) * inv[j]
+		}
+		sum += v
+	}
+	return sum
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/kdtree"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -37,6 +38,12 @@ type Options struct {
 	// narrow, kernels in sparse regions widen, sharpening multi-modal
 	// estimates without a global bandwidth tradeoff.
 	AdaptiveK int
+
+	// Parallelism bounds the workers used for estimator construction
+	// (currently the adaptive-bandwidth k-NN scan over the centers):
+	// 0 uses runtime.GOMAXPROCS(0), 1 is the serial reference path. The
+	// resulting estimator is identical for every setting.
+	Parallelism int
 }
 
 // DefaultNumKernels is the paper's recommended kernel count (§4.4:
@@ -58,7 +65,13 @@ type Estimator struct {
 	dims    int
 	tree    *kdtree.Tree
 	reach   float64 // Euclidean radius covering the widest support box
-	invH    []float64
+	// boxReach is the per-dimension half-width of the widest support box
+	// (sup·h_j, scaled by the largest adaptive multiplier). For kernels
+	// with true compact support the box test alone decides membership,
+	// letting DensityBatch prune the center tree much more tightly than
+	// the circumscribed ball `reach` allows.
+	boxReach []float64
+	invH     []float64
 	// scale holds per-center bandwidth multipliers (nil when uniform);
 	// invScale caches their reciprocals.
 	scale    []float64
@@ -141,7 +154,7 @@ func Build(ds interface {
 		}
 	}
 
-	return newEstimator(kern, centers, h, seen, opts.AdaptiveK)
+	return newEstimator(kern, centers, h, seen, opts.AdaptiveK, opts.Parallelism)
 }
 
 // FromCenters builds an estimator directly from explicit centers and
@@ -173,32 +186,35 @@ func FromCenters(kern Kernel, centers []geom.Point, h []float64, n int) (*Estima
 		}
 		cc[i] = c.Clone()
 	}
-	return newEstimator(kern, cc, append([]float64(nil), h...), n, 0)
+	return newEstimator(kern, cc, append([]float64(nil), h...), n, 0, 1)
 }
 
-func newEstimator(kern Kernel, centers []geom.Point, h []float64, n int, adaptiveK int) (*Estimator, error) {
+func newEstimator(kern Kernel, centers []geom.Point, h []float64, n int, adaptiveK, parallelism int) (*Estimator, error) {
 	d := len(h)
 	sup := kern.Support()
 	var reach2 float64
 	invH := make([]float64, d)
+	boxReach := make([]float64, d)
 	for j, v := range h {
 		r := sup * v
 		reach2 += r * r
+		boxReach[j] = r
 		invH[j] = 1 / v
 	}
 	e := &Estimator{
-		kernel:  kern,
-		centers: centers,
-		h:       h,
-		weight:  float64(n) / float64(len(centers)),
-		n:       n,
-		dims:    d,
-		reach:   math.Sqrt(reach2),
-		invH:    invH,
+		kernel:   kern,
+		centers:  centers,
+		h:        h,
+		weight:   float64(n) / float64(len(centers)),
+		n:        n,
+		dims:     d,
+		reach:    math.Sqrt(reach2),
+		boxReach: boxReach,
+		invH:     invH,
 	}
 	e.tree = kdtree.Build(centers)
 	if adaptiveK > 0 && len(centers) > 1 {
-		e.applyAdaptiveScales(adaptiveK)
+		e.applyAdaptiveScales(adaptiveK, parallelism)
 	}
 	return e, nil
 }
@@ -207,16 +223,20 @@ func newEstimator(kern Kernel, centers []geom.Point, h []float64, n int, adaptiv
 // distance to the k-th nearest other center, normalized by the median so
 // the typical kernel keeps the Scott's-rule width. Scales are clamped to
 // [1/4, 4] to keep the kd-tree pruning radius and kernel mass sane.
-func (e *Estimator) applyAdaptiveScales(k int) {
+// The k-NN queries are independent per center and run on the worker pool;
+// each writes only its own dists slot, so the scales are identical for
+// every parallelism.
+func (e *Estimator) applyAdaptiveScales(k, parallelism int) {
 	m := len(e.centers)
 	if k > m-1 {
 		k = m - 1
 	}
 	dists := make([]float64, m)
-	for i, c := range e.centers {
-		nn := e.tree.KNN(c, k+1) // includes the center itself at distance 0
+	parallel.Do(m, parallelism, func(i int) error {
+		nn := e.tree.KNN(e.centers[i], k+1) // includes the center itself at distance 0
 		dists[i] = nn[len(nn)-1].Dist
-	}
+		return nil
+	})
 	med := stats.Quantile(dists, 0.5)
 	if med <= 0 {
 		return // degenerate center set; keep uniform bandwidths
@@ -239,6 +259,9 @@ func (e *Estimator) applyAdaptiveScales(k int) {
 		}
 	}
 	e.reach *= maxScale
+	for j := range e.boxReach {
+		e.boxReach[j] *= maxScale
+	}
 }
 
 // N returns the dataset size the estimator represents (its total integral).

@@ -9,17 +9,30 @@ import "sync"
 // reproducible.
 const quadraturePoints = 128
 
-var (
-	quadMu    sync.Mutex
-	quadCache = map[int][][]float64{}
-)
+// The per-dimension cache is a fixed array of sync.Once slots rather than
+// a mutex-guarded map: after the first IntegrateBox/IntegrateBall in a
+// dimension, concurrent readers take a Once fast path (a single atomic
+// load) with no shared lock on the hot path, whereas a global mutex would
+// serialize every parallel ball integral. Dimensions beyond the table —
+// far outside this repository's workloads — recompute the set per call,
+// trading repeat cost for unbounded-dimension safety.
+const maxCachedQuadDim = 64
+
+var quadCache [maxCachedQuadDim + 1]struct {
+	once sync.Once
+	pts  [][]float64
+}
 
 func ballQuadrature(d int) [][]float64 {
-	quadMu.Lock()
-	defer quadMu.Unlock()
-	if q, ok := quadCache[d]; ok {
-		return q
+	if d >= 0 && d <= maxCachedQuadDim {
+		c := &quadCache[d]
+		c.once.Do(func() { c.pts = computeBallQuadrature(d) })
+		return c.pts
 	}
+	return computeBallQuadrature(d)
+}
+
+func computeBallQuadrature(d int) [][]float64 {
 	q := make([][]float64, 0, quadraturePoints)
 	// Rejection from the cube keeps Halton's uniformity; acceptance decays
 	// with dimension, so scan enough indices to fill the budget.
@@ -39,7 +52,6 @@ func ballQuadrature(d int) [][]float64 {
 		// integral degrades to f(o)·Vol(ball), still a usable estimate.
 		q = append(q, make([]float64, d))
 	}
-	quadCache[d] = q
 	return q
 }
 

@@ -283,6 +283,83 @@ func (t *Tree) withinFunc(ni int32, q geom.Point, r2 float64, fn func(i int)) {
 	}
 }
 
+// WithinAppend appends the indices of all points at distance ≤ r from q
+// onto buf and returns it, together with the (possibly grown) node stack it
+// traversed with. Unlike Within/WithinFunc it is iterative and reuses both
+// slices across calls, so a batch of queries performs no per-query
+// allocations and no per-result closure calls — the shape DensityBatch
+// needs when it evaluates a whole block of points against the kernel
+// centers. Visit order differs from Within's recursion; callers reducing
+// floating-point contributions must not rely on a particular order being
+// shared between the two APIs.
+func (t *Tree) WithinAppend(q geom.Point, r float64, buf []int32, stack []int32) ([]int32, []int32) {
+	r2 := r * r
+	stack = append(stack[:0], 0)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[ni]
+		if n.split < 0 {
+			for _, i := range t.idx[n.start:n.end] {
+				if geom.SquaredDistance(q, t.pts[i]) <= r2 {
+					buf = append(buf, i)
+				}
+			}
+			continue
+		}
+		diff := q[n.split] - n.splitVal
+		near, far := n.left, n.right
+		if diff > 0 {
+			near, far = n.right, n.left
+		}
+		if diff*diff <= r2 {
+			stack = append(stack, far)
+		}
+		stack = append(stack, near)
+	}
+	return buf, stack
+}
+
+// AppendBoxLeaves appends the [start, end) index ranges (two int32 per
+// leaf) of every leaf that can contain points inside the axis-aligned box
+// q ± radii, pruning a subtree as soon as the split plane separates it
+// from the box along the split dimension. Points inside a reported leaf
+// are NOT filtered — callers that need exact membership must test each
+// point — which is exactly right for product kernels with compact
+// support: the kernel itself vanishes outside the box, so evaluating a
+// whole leaf is both correct and branch-free. Box pruning is strictly
+// tighter than the circumscribed-ball pruning of WithinAppend (by a
+// factor growing with dimension), which is why the density hot path uses
+// it. Both slices are reused across calls; pass the previous returns.
+// Resolve a reported range to center indices with Indices.
+func (t *Tree) AppendBoxLeaves(q geom.Point, radii []float64, leaves, stack []int32) ([]int32, []int32) {
+	stack = append(stack[:0], 0)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[ni]
+		if n.split < 0 {
+			leaves = append(leaves, n.start, n.end)
+			continue
+		}
+		diff := q[n.split] - n.splitVal
+		near, far := n.left, n.right
+		if diff > 0 {
+			near, far = n.right, n.left
+		}
+		if -radii[n.split] <= diff && diff <= radii[n.split] {
+			stack = append(stack, far)
+		}
+		stack = append(stack, near)
+	}
+	return leaves, stack
+}
+
+// Indices returns the point indices of a leaf range reported by
+// AppendBoxLeaves. The slice aliases internal storage; callers must not
+// mutate it.
+func (t *Tree) Indices(start, end int32) []int32 { return t.idx[start:end] }
+
 func (t *Tree) within(ni int32, q geom.Point, r2 float64, out *[]int) {
 	n := &t.nodes[ni]
 	if n.split < 0 {

@@ -143,6 +143,32 @@ func TestWithinMatchesBrute(t *testing.T) {
 	}
 }
 
+func TestWithinAppendMatchesBrute(t *testing.T) {
+	pts := randomPoints(400, 3, 8)
+	tr := Build(pts)
+	rng := stats.NewRNG(9)
+	var buf, stack []int32
+	for trial := 0; trial < 100; trial++ {
+		q := geom.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+		r := rng.Float64() * 0.5
+		buf, stack = tr.WithinAppend(q, r, buf[:0], stack)
+		want := bruteWithin(pts, q, r)
+		got := make([]int, len(buf))
+		for i, v := range buf {
+			got[i] = int(v)
+		}
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("WithinAppend: %d vs brute %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("WithinAppend sets differ")
+			}
+		}
+	}
+}
+
 func TestCountWithin(t *testing.T) {
 	pts := randomPoints(400, 2, 10)
 	tr := Build(pts)

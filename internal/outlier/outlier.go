@@ -13,10 +13,12 @@ package outlier
 
 import (
 	"errors"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/kdtree"
+	"repro/internal/parallel"
 )
 
 // Params are the DB(p,k) parameters. K is the neighbourhood radius
@@ -30,6 +32,12 @@ type Params struct {
 	K      float64
 	P      int
 	Metric geom.Metric
+
+	// Parallelism bounds the workers used by the detectors: 0 uses
+	// runtime.GOMAXPROCS(0), 1 is the serial reference path. It is an
+	// execution option only — each detector partitions its work so that
+	// the reported outliers are identical for every setting.
+	Parallelism int
 }
 
 // FromFraction converts a fractional neighbour bound into Params
@@ -60,10 +68,14 @@ func NestedLoop(pts []geom.Point, prm Params) ([]int, error) {
 	if metric == nil {
 		metric = geom.Euclidean{}
 	}
-	var out []int
-	for i, p := range pts {
+	// Each point's verdict is independent, so the rows parallelize into a
+	// flag slice; collecting set flags in index order preserves the serial
+	// output exactly.
+	flags := make([]bool, len(pts))
+	parallel.Do(len(pts), prm.Parallelism, func(i int) error {
+		p := pts[i]
 		count := 0
-		isOutlier := true
+		flags[i] = true
 		for j, q := range pts {
 			if i == j {
 				continue
@@ -71,16 +83,25 @@ func NestedLoop(pts []geom.Point, prm Params) ([]int, error) {
 			if metric.Distance(p, q) <= prm.K {
 				count++
 				if count > prm.P {
-					isOutlier = false
+					flags[i] = false
 					break
 				}
 			}
 		}
-		if isOutlier {
+		return nil
+	})
+	return collect(flags), nil
+}
+
+// collect returns the indices of the set flags in ascending order.
+func collect(flags []bool) []int {
+	var out []int
+	for i, f := range flags {
+		if f {
 			out = append(out, i)
 		}
 	}
-	return out, nil
+	return out
 }
 
 // Exact finds all DB(p,k) outliers with a kd-tree index: each point's
@@ -94,16 +115,15 @@ func Exact(pts []geom.Point, prm Params) ([]int, error) {
 		return nil, nil
 	}
 	tree := kdtree.Build(pts)
-	var out []int
-	for i, p := range pts {
+	flags := make([]bool, len(pts))
+	parallel.Do(len(pts), prm.Parallelism, func(i int) error {
 		// CountWithin includes the query point itself (distance 0), so an
 		// outlier has at most P+1 in-range points; the limit lets the
 		// search abort as soon as P+2 are seen.
-		if tree.CountWithin(p, prm.K, prm.P+1) <= prm.P+1 {
-			out = append(out, i)
-		}
-	}
-	return out, nil
+		flags[i] = tree.CountWithin(pts[i], prm.K, prm.P+1) <= prm.P+1
+		return nil
+	})
+	return collect(flags), nil
 }
 
 // BallIntegrator supplies the expected in-ball point count under a density
@@ -159,15 +179,27 @@ func Approximate(ds dataset.Dataset, est BallIntegrator, prm Params, opts Approx
 	threshold := cf * float64(prm.P+1)
 
 	// Pass 1: expected neighbour count per point; collect candidates.
-	var candidates []geom.Point
-	err := ds.Scan(func(p geom.Point) error {
-		if est.IntegrateBall(p, prm.K) <= threshold {
-			candidates = append(candidates, p.Clone())
+	// Each block gathers its own candidate slice and the slices are
+	// concatenated in block order, so the candidate set (and therefore
+	// everything downstream) is independent of the worker count.
+	numBlocks := parallel.NumBlocks(ds.Len(), parallel.BlockSize(0))
+	blockCands := make([][]geom.Point, numBlocks)
+	err := dataset.ScanBlocks(ds, 0, prm.Parallelism, func(block, start int, pts []geom.Point) error {
+		var cands []geom.Point
+		for _, p := range pts {
+			if est.IntegrateBall(p, prm.K) <= threshold {
+				cands = append(cands, p.Clone())
+			}
 		}
+		blockCands[block] = cands
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var candidates []geom.Point
+	for _, cands := range blockCands {
+		candidates = append(candidates, cands...)
 	}
 	res := &Result{NumCandidates: len(candidates), DataPasses: 1}
 	if len(candidates) == 0 {
@@ -175,23 +207,30 @@ func Approximate(ds dataset.Dataset, est BallIntegrator, prm Params, opts Approx
 	}
 
 	// Pass 2: exact verification. A kd-tree over the candidates lets one
-	// sequential scan attribute every dataset point to the candidates it
-	// neighbours; candidates exceeding P are disqualified on the spot.
+	// scan attribute every dataset point to the candidates it neighbours.
+	// Blocks count into local arrays merged by integer addition, which is
+	// order-independent; each local count is capped at P+2 — enough to
+	// preserve the `> P+1` disqualification test on the merged sum while
+	// letting hot candidates stop accumulating early.
 	tree := kdtree.Build(candidates)
 	counts := make([]int, len(candidates))
-	dead := make([]bool, len(candidates))
-	err = ds.Scan(func(p geom.Point) error {
-		for _, ci := range tree.Within(p, prm.K) {
-			if dead[ci] {
-				continue
-			}
-			counts[ci]++
-			// Each candidate sees itself once during the scan, so the
-			// true neighbour bound P allows P+1 in-range hits.
-			if counts[ci] > prm.P+1 {
-				dead[ci] = true
+	var mu sync.Mutex
+	err = dataset.ScanBlocks(ds, 0, prm.Parallelism, func(block, start int, pts []geom.Point) error {
+		local := make([]int, len(candidates))
+		for _, p := range pts {
+			for _, ci := range tree.Within(p, prm.K) {
+				if local[ci] <= prm.P+1 {
+					local[ci]++
+				}
 			}
 		}
+		mu.Lock()
+		for ci, c := range local {
+			if c > 0 {
+				counts[ci] += c
+			}
+		}
+		mu.Unlock()
 		return nil
 	})
 	if err != nil {
@@ -199,7 +238,9 @@ func Approximate(ds dataset.Dataset, est BallIntegrator, prm Params, opts Approx
 	}
 	res.DataPasses = 2
 	for i, c := range candidates {
-		if !dead[i] {
+		// Each candidate sees itself once during the scan, so the true
+		// neighbour bound P allows P+1 in-range hits.
+		if counts[i] <= prm.P+1 {
 			res.Outliers = append(res.Outliers, c)
 		}
 	}
@@ -218,15 +259,25 @@ func EstimateCount(ds dataset.Dataset, est BallIntegrator, prm Params) (int, err
 	if est == nil {
 		return 0, errors.New("outlier: nil estimator")
 	}
-	count := 0
-	err := ds.Scan(func(p geom.Point) error {
-		if est.IntegrateBall(p, prm.K) <= float64(prm.P+1) {
-			count++
+	// Per-block tallies merged by addition: an order-independent integer
+	// reduction, so the estimate matches the serial scan exactly.
+	blockCounts := make([]int, parallel.NumBlocks(ds.Len(), parallel.BlockSize(0)))
+	err := dataset.ScanBlocks(ds, 0, prm.Parallelism, func(block, start int, pts []geom.Point) error {
+		c := 0
+		for _, p := range pts {
+			if est.IntegrateBall(p, prm.K) <= float64(prm.P+1) {
+				c++
+			}
 		}
+		blockCounts[block] = c
 		return nil
 	})
 	if err != nil {
 		return 0, err
+	}
+	count := 0
+	for _, c := range blockCounts {
+		count += c
 	}
 	return count, nil
 }

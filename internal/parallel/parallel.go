@@ -1,0 +1,143 @@
+// Package parallel provides the bounded worker pool and block scheduling
+// shared by every parallelized stage of the pipeline: dataset block scans,
+// density evaluation, sampling, and the distance loops in clustering and
+// outlier detection.
+//
+// The design constraint throughout is determinism: a computation run with
+// any worker count must produce bit-for-bit the result of the serial run.
+// The package therefore never exposes unordered completion. Work is split
+// into blocks by index arithmetic only (block boundaries depend on the
+// input size and block size, never on the worker count), workers pull block
+// indices from a shared counter, and callers reduce per-block results in
+// block order. Commutative-and-associative reductions (integer counts) may
+// be merged in any order; floating-point reductions must be merged in block
+// order, which is what the helpers here make natural.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBlockSize is the number of points per scheduling block when the
+// caller does not choose one. Large enough that per-block overhead
+// (goroutine handoff, one RNG split, buffer setup) is negligible, small
+// enough that a 100k-point dataset still splits into ~25 blocks and keeps
+// 8 workers busy.
+const DefaultBlockSize = 4096
+
+// Degree resolves a Parallelism option to an effective worker count:
+// 0 means runtime.GOMAXPROCS(0) (use the machine), negative values are
+// clamped to 1 (serial).
+func Degree(p int) int {
+	if p == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// BlockSize resolves a block-size option: 0 means DefaultBlockSize,
+// negative values are clamped to 1.
+func BlockSize(bs int) int {
+	if bs == 0 {
+		return DefaultBlockSize
+	}
+	if bs < 1 {
+		return 1
+	}
+	return bs
+}
+
+// NumBlocks returns how many blocks of the given size cover n items.
+func NumBlocks(n, blockSize int) int {
+	blockSize = BlockSize(blockSize)
+	return (n + blockSize - 1) / blockSize
+}
+
+// BlockRange returns the half-open item range [start, end) of block b over
+// n items. The range depends only on n, blockSize, and b — never on how
+// many workers execute the blocks — which is the foundation of the
+// determinism argument in DESIGN.md.
+func BlockRange(b, n, blockSize int) (start, end int) {
+	blockSize = BlockSize(blockSize)
+	start = b * blockSize
+	end = start + blockSize
+	if end > n {
+		end = n
+	}
+	return start, end
+}
+
+// Do runs fn(i) for every i in [0, n), distributing the calls over
+// Degree(parallelism) goroutines. With an effective degree of 1 (or n ≤ 1)
+// fn is called inline, in index order, with no goroutines — the serial
+// reference path. Otherwise workers pull indices from a shared counter, so
+// call order is unspecified; fn must only write to state owned by index i
+// (or otherwise synchronized).
+//
+// The first error stops the distribution of further indices (in-flight
+// calls complete) and is returned. Do never returns before every started
+// fn has finished.
+func Do(n, parallelism int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Degree(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		firstE  error
+		wg      sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstE = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstE
+}
+
+// Blocks runs fn(b, start, end) for every block of blockSize items over n,
+// using Do for scheduling. It is the common shape of a chunked scan: the
+// caller allocates per-block result slots up front (NumBlocks tells it how
+// many) and reduces them in block order afterwards.
+func Blocks(n, blockSize, parallelism int, fn func(b, start, end int) error) error {
+	nb := NumBlocks(n, blockSize)
+	return Do(nb, parallelism, func(b int) error {
+		start, end := BlockRange(b, n, blockSize)
+		return fn(b, start, end)
+	})
+}

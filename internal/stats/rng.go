@@ -43,6 +43,36 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xda942042e4dd58b5)
 }
 
+// Splits returns n generators with mutually independent streams, all
+// derived from a single draw of r (which advances exactly once, regardless
+// of n). Stream i is a pure function of that draw and i, so a caller that
+// assigns stream i to work unit i gets the same per-unit randomness no
+// matter how many units there are in flight or on how many goroutines they
+// run — the property the parallel sampler's determinism rests on.
+func (r *RNG) Splits(n int) []*RNG {
+	if n <= 0 {
+		return nil
+	}
+	base := r.Uint64()
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = NewRNG(mix64(base + uint64(i)*0x9e3779b97f4a7c15))
+	}
+	return out
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche function that
+// turns the weakly related seeds base + i·golden into statistically
+// independent ones.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	// 128-bit multiply-add state update.

@@ -44,6 +44,45 @@ func TestRNGSplitIndependent(t *testing.T) {
 	}
 }
 
+func TestRNGSplitsDeterministicAndDistinct(t *testing.T) {
+	// Two parents with equal state must derive identical stream sets, and
+	// the streams within one set must be pairwise distinct.
+	a := NewRNG(11)
+	b := NewRNG(11)
+	sa := a.Splits(8)
+	sb := b.Splits(8)
+	firsts := map[uint64]int{}
+	for i := range sa {
+		va, vb := sa[i].Uint64(), sb[i].Uint64()
+		if va != vb {
+			t.Fatalf("stream %d differs between equal parents", i)
+		}
+		if j, dup := firsts[va]; dup {
+			t.Fatalf("streams %d and %d start identically", i, j)
+		}
+		firsts[va] = i
+	}
+	// The parent advances exactly once, regardless of n.
+	c, d := NewRNG(11), NewRNG(11)
+	c.Splits(2)
+	d.Splits(100)
+	if c.Uint64() != d.Uint64() {
+		t.Error("Splits advanced the parent by an n-dependent amount")
+	}
+	// A prefix of a larger set equals the smaller set: streams are a pure
+	// function of (draw, index).
+	e, f := NewRNG(11), NewRNG(11)
+	small, large := e.Splits(3), f.Splits(10)
+	for i := range small {
+		if small[i].Uint64() != large[i].Uint64() {
+			t.Fatalf("stream %d depends on the set size", i)
+		}
+	}
+	if got := NewRNG(1).Splits(0); got != nil {
+		t.Errorf("Splits(0) = %v, want nil", got)
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := NewRNG(3)
 	for i := 0; i < 10000; i++ {
