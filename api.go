@@ -9,9 +9,22 @@ import (
 	"repro/internal/geom"
 	"repro/internal/kde"
 	"repro/internal/kmeans"
+	"repro/internal/obs"
 	"repro/internal/outlier"
 	"repro/internal/stats"
 )
+
+// Recorder collects counters, gauges, and span timings from a pipeline
+// run; see the internal/obs package for the reports it can write. Pass
+// one through SampleOptions.Obs, ClusterOptions.Obs, EstimatorOptions.Obs,
+// or OutlierParams.Obs. A nil Recorder disables all recording at
+// near-zero cost, and recording never changes any result: samples and
+// clusterings are bit-identical with observability on or off.
+type Recorder = obs.Recorder
+
+// NewRecorder returns an empty Recorder ready to be threaded through the
+// pipeline options.
+func NewRecorder() *Recorder { return obs.New() }
 
 // Point is a d-dimensional point.
 type Point = geom.Point
@@ -77,6 +90,17 @@ type SampleOptions struct {
 	// 0 uses runtime.GOMAXPROCS(0), 1 is the serial reference path. The
 	// drawn sample is identical for every setting.
 	Parallelism int
+	// Obs, when non-nil, records the draw's spans, counters, and gauges.
+	Obs *Recorder
+	// Progress, when non-nil, receives (points scanned, total) at block
+	// granularity during each dataset pass; it may be called from
+	// concurrent scan workers and restarts at each pass.
+	Progress func(done, total int)
+	// VerifyNorm, with OnePass and a Recorder attached, spends one extra
+	// diagnostic pass computing the exact normalizer and records the
+	// relative error of the one-pass approximation as a gauge. The drawn
+	// sample is unaffected.
+	VerifyNorm bool
 }
 
 // Sample is a density-biased sample.
@@ -109,6 +133,9 @@ func BiasedSample(ds Dataset, est *Estimator, opts SampleOptions, rng *RNG) (*Sa
 		OnePass:      opts.OnePass,
 		FloorDensity: opts.FloorDensity,
 		Parallelism:  opts.Parallelism,
+		Obs:          opts.Obs,
+		Progress:     opts.Progress,
+		VerifyNorm:   opts.VerifyNorm,
 	}, rng)
 	if err != nil {
 		return nil, err
@@ -143,6 +170,8 @@ type ClusterOptions struct {
 	// phases: 0 uses runtime.GOMAXPROCS(0), 1 is the serial reference
 	// path. The clustering is identical for every setting.
 	Parallelism int
+	// Obs, when non-nil, records the clustering's spans and counters.
+	Obs *Recorder
 }
 
 // Cluster is one discovered cluster.
@@ -152,7 +181,7 @@ type Cluster = cure.Cluster
 // points (§3.1). The returned clusters carry shrunk representative points
 // describing their shapes.
 func ClusterSample(pts []Point, opts ClusterOptions) ([]Cluster, error) {
-	co := cure.Options{K: opts.K, NumReps: opts.NumReps, Shrink: opts.Shrink, Parallelism: opts.Parallelism}
+	co := cure.Options{K: opts.K, NumReps: opts.NumReps, Shrink: opts.Shrink, Parallelism: opts.Parallelism, Obs: opts.Obs}
 	if opts.NoiseTrim {
 		n := len(pts)
 		co.TrimAt = n / 3
@@ -172,7 +201,7 @@ func ClusterSample(pts []Point, opts ClusterOptions) ([]Cluster, error) {
 // quadratic cost by roughly the partition count) and their partial
 // clusters merged into the final K.
 func ClusterSamplePartitioned(pts []Point, opts ClusterOptions, partitions int) ([]Cluster, error) {
-	co := cure.Options{K: opts.K, NumReps: opts.NumReps, Shrink: opts.Shrink, Parallelism: opts.Parallelism}
+	co := cure.Options{K: opts.K, NumReps: opts.NumReps, Shrink: opts.Shrink, Parallelism: opts.Parallelism, Obs: opts.Obs}
 	if opts.NoiseTrim {
 		n := len(pts)
 		co.TrimAt = n / 3

@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/kde"
 	"repro/internal/kdtree"
+	"repro/internal/obs"
 	"repro/internal/outlier"
 	"repro/internal/stats"
 	"repro/internal/synth"
@@ -153,6 +154,43 @@ func BenchmarkDrawParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkDrawObs guards the observability layer's overhead: the same
+// exact two-pass draw with the Recorder disabled (nil handles on the hot
+// paths) and enabled (atomic flushes per block/batch). The disabled
+// variant is the one the 2% budget applies to — it must stay within noise
+// of the pre-observability numbers in BENCH_parallel.json; BENCH_obs.json
+// records both. The enabled estimator recorder also swaps the kde
+// counting twins in, so this measures the full instrumented path.
+func BenchmarkDrawObs(b *testing.B) {
+	rng := stats.NewRNG(99)
+	l := synth.EqualClusters(10, 4, 100000, 0.10, rng)
+	ds := l.Dataset()
+	est, err := kde.Build(ds, kde.Options{NumKernels: 1000}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, enabled := range []bool{false, true} {
+		name := "disabled"
+		if enabled {
+			name = "enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var rec *obs.Recorder
+				if enabled {
+					rec = obs.New()
+				}
+				est.SetRecorder(rec)
+				opts := core.Options{Alpha: 1, TargetSize: 1000, Parallelism: 1, Obs: rec}
+				if _, err := core.Draw(ds, est, opts, stats.NewRNG(uint64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			est.SetRecorder(nil)
 		})
 	}
 }

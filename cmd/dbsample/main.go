@@ -23,6 +23,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/gridsample"
 	"repro/internal/kde"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -38,11 +39,19 @@ func main() {
 		onePass = flag.Bool("onepass", false, "use the integrated one-pass variant (biased)")
 		par     = flag.Int("p", 0, "worker parallelism: 0 = all CPUs, 1 = serial (same sample either way)")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		obsf    obs.Flags
 	)
+	obsf.Register(flag.CommandLine)
 	flag.Parse()
 	if *in == "" {
 		fatal("missing -in")
 	}
+	run, err := obsf.Start()
+	if err != nil {
+		run.Close()
+		fatal("%v", err)
+	}
+	defer run.Close()
 	ds, err := dataset.OpenFile(*in)
 	if err != nil {
 		fatal("%v", err)
@@ -82,11 +91,25 @@ func main() {
 		if kern == nil {
 			fatal("unknown kernel %q", *kernel)
 		}
-		est, err := kde.Build(ds, kde.Options{NumKernels: *kernels, Kernel: kern, Parallelism: *par}, rng)
+		est, err := kde.Build(ds, kde.Options{
+			NumKernels:  *kernels,
+			Kernel:      kern,
+			Parallelism: *par,
+			Obs:         run.Rec,
+			Progress:    run.ProgressFunc("estimator"),
+		}, rng)
 		if err != nil {
 			fatal("building estimator: %v", err)
 		}
-		s, err := core.Draw(ds, est, core.Options{Alpha: *alpha, TargetSize: *size, OnePass: *onePass, Parallelism: *par}, rng)
+		s, err := core.Draw(ds, est, core.Options{
+			Alpha:       *alpha,
+			TargetSize:  *size,
+			OnePass:     *onePass,
+			Parallelism: *par,
+			Obs:         run.Rec,
+			Progress:    run.ProgressFunc("sampling"),
+			VerifyNorm:  *onePass,
+		}, rng)
 		if err != nil {
 			fatal("sampling: %v", err)
 		}

@@ -8,26 +8,48 @@
 //	dbsbench -list
 //	dbsbench -exp fig4a
 //	dbsbench -all -quick
+//	dbsbench -exp obs -json > BENCH_obs.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
+
+// benchDoc is the BENCH_*.json document -json emits: the environment the
+// numbers were taken in plus every experiment's table and benchmark
+// entries (name, iters, ns/op, points/sec, speedup).
+type benchDoc struct {
+	Environment benchEnv             `json:"environment"`
+	Results     []*experiments.Table `json:"results"`
+}
+
+type benchEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Quick      bool   `json:"quick,omitempty"`
+}
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment ids")
-		quick = flag.Bool("quick", false, "reduced workload sizes")
-		par   = flag.Int("p", 0, "worker parallelism for the parallel experiments: 0 = all CPUs, 1 = serial")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		exp     = flag.String("exp", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment ids")
+		quick   = flag.Bool("quick", false, "reduced workload sizes")
+		par     = flag.Int("p", 0, "worker parallelism for the parallel experiments: 0 = all CPUs, 1 = serial")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		jsonOut = flag.Bool("json", false, "emit results as a BENCH_*.json document on stdout instead of tables")
+		obsf    obs.Flags
 	)
+	obsf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -36,7 +58,13 @@ func main() {
 		}
 		return
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Parallelism: *par}
+	run, err := obsf.Start()
+	if err != nil {
+		run.Close()
+		fatal("%v", err)
+	}
+	defer run.Close()
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Parallelism: *par, Obs: run.Rec}
 	var ids []string
 	switch {
 	case *all:
@@ -47,16 +75,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dbsbench: need -exp <id>, -all, or -list")
 		os.Exit(2)
 	}
+	doc := benchDoc{Environment: benchEnv{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      *quick,
+	}}
 	for _, id := range ids {
 		start := time.Now()
 		tb, err := experiments.Run(id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dbsbench: %s: %v\n", id, err)
-			os.Exit(1)
+			fatal("%s: %v", id, err)
 		}
 		tb.ID = id
 		tb.Title = experiments.Title(id)
+		if *jsonOut {
+			doc.Results = append(doc.Results, tb)
+			fmt.Fprintf(os.Stderr, "(%s completed in %.1fs)\n", id, time.Since(start).Seconds())
+			continue
+		}
 		fmt.Println(tb.String())
 		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal("encoding JSON: %v", err)
+		}
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dbsbench: "+format+"\n", args...)
+	os.Exit(1)
 }

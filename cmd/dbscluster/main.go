@@ -23,6 +23,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/kde"
 	"repro/internal/kmeans"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -39,11 +40,19 @@ func main() {
 		assign  = flag.String("assign", "", "write full-dataset labels to this file (cure only)")
 		par     = flag.Int("p", 0, "worker parallelism: 0 = all CPUs, 1 = serial (same clustering either way)")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		obsf    obs.Flags
 	)
+	obsf.Register(flag.CommandLine)
 	flag.Parse()
 	if *in == "" {
 		fatal("missing -in")
 	}
+	run, err := obsf.Start()
+	if err != nil {
+		run.Close()
+		fatal("%v", err)
+	}
+	defer run.Close()
 	ds, err := dataset.OpenFile(*in)
 	if err != nil {
 		fatal("%v", err)
@@ -53,11 +62,22 @@ func main() {
 	var weighted []dataset.WeightedPoint
 	switch *method {
 	case "biased":
-		est, err := kde.Build(ds, kde.Options{NumKernels: *kernels, Parallelism: *par}, rng)
+		est, err := kde.Build(ds, kde.Options{
+			NumKernels:  *kernels,
+			Parallelism: *par,
+			Obs:         run.Rec,
+			Progress:    run.ProgressFunc("estimator"),
+		}, rng)
 		if err != nil {
 			fatal("building estimator: %v", err)
 		}
-		s, err := core.Draw(ds, est, core.Options{Alpha: *alpha, TargetSize: *size, Parallelism: *par}, rng)
+		s, err := core.Draw(ds, est, core.Options{
+			Alpha:       *alpha,
+			TargetSize:  *size,
+			Parallelism: *par,
+			Obs:         run.Rec,
+			Progress:    run.ProgressFunc("sampling"),
+		}, rng)
 		if err != nil {
 			fatal("sampling: %v", err)
 		}
@@ -82,7 +102,7 @@ func main() {
 		for i, wp := range weighted {
 			pts[i] = wp.P
 		}
-		opts := cure.Options{K: *k, NumReps: 10, Shrink: 0.3, Parallelism: *par}
+		opts := cure.Options{K: *k, NumReps: 10, Shrink: 0.3, Parallelism: *par, Obs: run.Rec}
 		if *trim {
 			opts.TrimAt = len(pts) / 3
 			opts.TrimMinSize = 3

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/synth"
 )
@@ -35,11 +36,19 @@ func main() {
 		labels = flag.String("labels", "", "optional sidecar file for ground-truth labels")
 		csv    = flag.Bool("csv", false, "write CSV instead of binary")
 		outl   = flag.Int("outliers", 0, "plant this many isolated outliers")
+		obsf   obs.Flags
 	)
+	obsf.Register(flag.CommandLine)
 	flag.Parse()
 	if *out == "" {
 		fatal("missing -out")
 	}
+	run, err := obsf.Start()
+	if err != nil {
+		run.Close()
+		fatal("%v", err)
+	}
+	defer run.Close()
 
 	rng := stats.NewRNG(*seed)
 	var l *synth.Labeled

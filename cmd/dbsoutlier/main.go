@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/kde"
+	"repro/internal/obs"
 	"repro/internal/outlier"
 	"repro/internal/stats"
 )
@@ -32,11 +33,19 @@ func main() {
 		factor  = flag.Float64("factor", 3, "candidate threshold factor (approx)")
 		par     = flag.Int("par", 0, "worker parallelism: 0 = all CPUs, 1 = serial (same outliers either way)")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		obsf    obs.Flags
 	)
+	obsf.Register(flag.CommandLine)
 	flag.Parse()
 	if *in == "" {
 		fatal("missing -in")
 	}
+	run, err := obsf.Start()
+	if err != nil {
+		run.Close()
+		fatal("%v", err)
+	}
+	defer run.Close()
 	ds, err := dataset.OpenFile(*in)
 	if err != nil {
 		fatal("%v", err)
@@ -53,6 +62,8 @@ func main() {
 		fatal("set -p or -frac")
 	}
 	prm.Parallelism = *par
+	prm.Obs = run.Rec
+	prm.Progress = run.ProgressFunc("outlier scan")
 	rng := stats.NewRNG(*seed)
 
 	switch *method {
@@ -70,7 +81,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "exact: %d DB(p=%d, k=%g) outliers\n", len(idx), prm.P, prm.K)
 	case "approx":
-		est, err := kde.Build(ds, kde.Options{NumKernels: *kernels, Parallelism: *par}, rng)
+		est, err := kde.Build(ds, kde.Options{
+			NumKernels:  *kernels,
+			Parallelism: *par,
+			Obs:         run.Rec,
+			Progress:    run.ProgressFunc("estimator"),
+		}, rng)
 		if err != nil {
 			fatal("building estimator: %v", err)
 		}
@@ -84,7 +100,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "approx: %d outliers from %d candidates, %d data passes (+1 estimator pass)\n",
 			len(res.Outliers), res.NumCandidates, res.DataPasses)
 	case "estimate":
-		est, err := kde.Build(ds, kde.Options{NumKernels: *kernels, Parallelism: *par}, rng)
+		est, err := kde.Build(ds, kde.Options{
+			NumKernels:  *kernels,
+			Parallelism: *par,
+			Obs:         run.Rec,
+			Progress:    run.ProgressFunc("estimator"),
+		}, rng)
 		if err != nil {
 			fatal("building estimator: %v", err)
 		}

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/stats"
 )
@@ -121,6 +122,30 @@ type Options struct {
 	// changes which points are drawn, while changing Parallelism never
 	// does.
 	BlockSize int
+
+	// Obs, when non-nil, records the run: span timings for the
+	// normalization and coin-flip passes, the counter catalogue (points
+	// scanned, data passes, coin flips, saturated probabilities, sampled
+	// points, kernel-evaluation stats via the estimator), and the
+	// sample_norm / sample_data_passes gauges. Recording is per-block and
+	// per-stage, never per-point, and consults no randomness: the drawn
+	// sample is bit-identical with Obs nil or set, at every Parallelism.
+	Obs *obs.Recorder
+
+	// Progress, when non-nil, is called after each completed scan block
+	// with (points delivered so far this pass, dataset size). The exact
+	// algorithm makes two passes, so the callback sees `done` restart
+	// once. Must be safe for concurrent use when Parallelism is not 1.
+	Progress func(done, total int)
+
+	// VerifyNorm, with OnePass and a non-nil Obs, spends one extra
+	// dataset pass computing the exact normalizer k_a next to the
+	// one-pass approximation and records their relative disagreement in
+	// the sample_norm_rel_error gauge — the §2.2 approximation quality,
+	// otherwise invisible. The extra pass is diagnostic only: the sample
+	// is still drawn from the approximate normalizer and
+	// Sample.DataPasses still reports the algorithm's own passes.
+	VerifyNorm bool
 }
 
 // Sample is the result of a biased-sampling run.
@@ -185,6 +210,10 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 		floor = defaultFloor(est)
 	}
 
+	rec := opts.Obs
+	span := rec.StartSpan("draw")
+	defer span.End()
+
 	var norm float64
 	var densCache []float64
 	passes := 0
@@ -198,6 +227,18 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 		if err != nil {
 			return nil, err
 		}
+		if opts.VerifyNorm && rec != nil {
+			vspan := rec.StartSpan("draw/verify_norm")
+			exact, verr := exactNorm(ds, est, opts.Alpha, floor, opts.Parallelism, opts.BlockSize, nil, rec, nil)
+			vspan.AddPoints(int64(n))
+			vspan.End()
+			if verr != nil {
+				return nil, verr
+			}
+			if exact > 0 {
+				rec.Gauge(obs.GaugeNormRelError).Set(math.Abs(norm-exact) / exact)
+			}
+		}
 	} else {
 		// For in-memory datasets the densities computed by the
 		// normalization pass are cached (8 bytes per point — negligible
@@ -209,8 +250,11 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 		if _, ok := ds.(*dataset.InMemory); ok {
 			densCache = make([]float64, n)
 		}
+		nspan := rec.StartSpan("draw/normalize")
 		var err error
-		norm, err = exactNorm(ds, est, opts.Alpha, floor, opts.Parallelism, opts.BlockSize, densCache)
+		norm, err = exactNorm(ds, est, opts.Alpha, floor, opts.Parallelism, opts.BlockSize, densCache, rec, opts.Progress)
+		nspan.AddPoints(int64(n))
+		nspan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -230,7 +274,15 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 	}
 	perBlock := make([]blockSample, numBlocks)
 	b := float64(opts.TargetSize)
-	err := dataset.ScanBlocks(ds, blockSize, opts.Parallelism, func(block, start int, pts []geom.Point) error {
+	sspan := rec.StartSpan("draw/sample")
+	cCoins := rec.Counter(obs.CtrCoinFlips)
+	cSat := rec.Counter(obs.CtrSaturated)
+	err := dataset.ScanBlocksCfg(ds, dataset.ScanConfig{
+		BlockSize:   blockSize,
+		Parallelism: opts.Parallelism,
+		Rec:         rec,
+		Progress:    opts.Progress,
+	}, func(block, start int, pts []geom.Point) error {
 		var dens []float64
 		if densCache != nil {
 			dens = densCache[start : start+len(pts)]
@@ -253,8 +305,12 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 			}
 		}
 		perBlock[block] = blockSample{points: sel, saturated: sat}
+		cCoins.Add(int64(len(pts)))
+		cSat.Add(int64(sat))
 		return nil
 	})
+	sspan.AddPoints(int64(n))
+	sspan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -270,6 +326,10 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 		out.Points = append(out.Points, perBlock[i].points...)
 		out.Saturated += perBlock[i].saturated
 	}
+	span.AddPoints(int64(n))
+	rec.Counter(obs.CtrSampled).Add(int64(len(out.Points)))
+	rec.Gauge(obs.GaugeSampleNorm).Set(norm)
+	rec.Gauge(obs.GaugeSampleDataPasses).Set(float64(passes))
 	return out, nil
 }
 
@@ -289,21 +349,28 @@ func ExactNorm(ds dataset.Dataset, est DensityEstimator, alpha, floor float64) (
 // completion-order or atomic reduction would make k_a depend on goroutine
 // scheduling).
 func ExactNormParallel(ds dataset.Dataset, est DensityEstimator, alpha, floor float64, parallelism, blockSize int) (float64, error) {
-	return exactNorm(ds, est, alpha, floor, parallelism, blockSize, nil)
+	return exactNorm(ds, est, alpha, floor, parallelism, blockSize, nil, nil, nil)
 }
 
 // exactNorm is ExactNormParallel with an optional density cache: when
 // cache is non-nil (length ds.Len()), each block stores its raw densities
 // at the block's global offset so a later pass can reuse them. Blocks
-// write disjoint ranges, so the cache needs no synchronization.
-func exactNorm(ds dataset.Dataset, est DensityEstimator, alpha, floor float64, parallelism, blockSize int, cache []float64) (float64, error) {
+// write disjoint ranges, so the cache needs no synchronization. rec and
+// progress, when non-nil, observe the scan (see Options.Obs/Progress);
+// neither influences the sum.
+func exactNorm(ds dataset.Dataset, est DensityEstimator, alpha, floor float64, parallelism, blockSize int, cache []float64, rec *obs.Recorder, progress func(done, total int)) (float64, error) {
 	if est == nil {
 		return 0, errors.New("core: nil density estimator")
 	}
 	n := ds.Len()
 	blockSize = parallel.BlockSize(blockSize)
 	partials := make([]float64, parallel.NumBlocks(n, blockSize))
-	err := dataset.ScanBlocks(ds, blockSize, parallelism, func(block, start int, pts []geom.Point) error {
+	err := dataset.ScanBlocksCfg(ds, dataset.ScanConfig{
+		BlockSize:   blockSize,
+		Parallelism: parallelism,
+		Rec:         rec,
+		Progress:    progress,
+	}, func(block, start int, pts []geom.Point) error {
 		var dens []float64
 		if cache != nil {
 			dens = cache[start : start+len(pts)]

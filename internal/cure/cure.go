@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/kdtree"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -66,6 +67,11 @@ type Options struct {
 	// every setting. The merge sequence itself is inherently serial and
 	// unaffected.
 	Parallelism int
+
+	// Obs, when non-nil, records spans ("cure", "cure/init_nn") and the
+	// merge/distance/trim counters. Recording never influences the
+	// clustering: outputs are bit-identical with Obs nil or set.
+	Obs *obs.Recorder
 }
 
 // Cluster is one output cluster.
@@ -124,7 +130,15 @@ func Run(pts []geom.Point, opts Options) ([]Cluster, error) {
 		finalTrimMin = 3
 	}
 
+	rec := opts.Obs
+	span := rec.StartSpan("cure")
+	defer span.End()
+	cMerges := rec.Counter(obs.CtrCureMerges)
+	cDist := rec.Counter(obs.CtrCureDistEvals)
+	cTrim := rec.Counter(obs.CtrCureTrimmed)
+
 	n := len(pts)
+	span.AddPoints(int64(n))
 	ws := make([]work, n)
 	for i, p := range pts {
 		ws[i] = work{
@@ -138,8 +152,10 @@ func Run(pts []geom.Point, opts Options) ([]Cluster, error) {
 
 	// Initial nearest neighbours: O(n²) singleton distances. Each row i
 	// writes only ws[i] and reads the means (fixed before this point), so
-	// the rows parallelize without changing the table.
-	parallel.Do(n, opts.Parallelism, func(i int) error {
+	// the rows parallelize without changing the table. Every ordered pair
+	// is evaluated exactly once, hence the arithmetic n·(n-1) tally.
+	initSpan := rec.StartSpan("cure/init_nn")
+	parallel.DoObs(n, opts.Parallelism, rec, func(i int) error {
 		ws[i].nn, ws[i].nnD = -1, math.Inf(1)
 		for j := range ws {
 			if i == j {
@@ -151,6 +167,8 @@ func Run(pts []geom.Point, opts Options) ([]Cluster, error) {
 		}
 		return nil
 	})
+	cDist.Add(int64(n) * int64(n-1))
+	initSpan.End()
 
 	trimmed := opts.TrimAt <= 0 // no trim requested ⇒ treat as done
 	finalTrimmed := opts.FinalTrimAt <= 0
@@ -159,8 +177,9 @@ func Run(pts []geom.Point, opts Options) ([]Cluster, error) {
 			removed := trim(ws, trimMin)
 			alive -= removed
 			trimmed = true
+			cTrim.Add(int64(removed))
 			if removed > 0 {
-				repairNN(ws, opts.Parallelism)
+				repairNN(ws, opts.Parallelism, rec, cDist)
 			}
 			if alive <= opts.K {
 				break
@@ -170,8 +189,9 @@ func Run(pts []geom.Point, opts Options) ([]Cluster, error) {
 			removed := trim(ws, finalTrimMin)
 			alive -= removed
 			finalTrimmed = true
+			cTrim.Add(int64(removed))
 			if removed > 0 {
-				repairNN(ws, opts.Parallelism)
+				repairNN(ws, opts.Parallelism, rec, cDist)
 			}
 			if alive <= opts.K {
 				break
@@ -190,7 +210,8 @@ func Run(pts []geom.Point, opts Options) ([]Cluster, error) {
 			break // only isolated clusters remain
 		}
 		bj := ws[bi].nn
-		merge(pts, ws, bi, bj, numReps, shrink)
+		merge(pts, ws, bi, bj, numReps, shrink, cDist)
+		cMerges.Inc()
 		alive--
 	}
 
@@ -213,8 +234,10 @@ func Run(pts []geom.Point, opts Options) ([]Cluster, error) {
 }
 
 // merge folds cluster j into cluster i, rebuilds i's summary, and restores
-// the nearest-neighbour invariants.
-func merge(pts []geom.Point, ws []work, i, j int, numReps int, shrink float64) {
+// the nearest-neighbour invariants. cDist (nil-safe) tallies the pairwise
+// representative distance evaluations; the tally is accumulated locally
+// and flushed once per merge.
+func merge(pts []geom.Point, ws []work, i, j int, numReps int, shrink float64, cDist *obs.Counter) {
 	a, b := &ws[i], &ws[j]
 	na, nb := float64(len(a.members)), float64(len(b.members))
 	mean := make(geom.Point, len(a.mean))
@@ -233,10 +256,12 @@ func merge(pts []geom.Point, ws []work, i, j int, numReps int, shrink float64) {
 	// fully recompute any cluster whose NN pointed at i or j.
 	a.nn, a.nnD = -1, math.Inf(1)
 	var stale []int
+	var evals int64
 	for c := range ws {
 		if c == i || !ws[c].alive {
 			continue
 		}
+		evals += int64(len(a.reps) * len(ws[c].reps))
 		d := clusterDist(a.reps, ws[c].reps)
 		if d < a.nnD {
 			a.nn, a.nnD = c, d
@@ -254,32 +279,38 @@ func merge(pts []geom.Point, ws []work, i, j int, numReps int, shrink float64) {
 			w.nn, w.nnD = i, d
 		}
 	}
+	cDist.Add(evals)
 	for _, c := range stale {
-		recomputeNN(ws, c)
+		recomputeNN(ws, c, cDist)
 	}
 }
 
 // recomputeNN rebuilds the cached nearest neighbour of cluster c exactly.
-func recomputeNN(ws []work, c int) {
+// cDist is the nil-safe distance-evaluation counter; the row's tally is
+// flushed with one atomic add (safe under repairNN's concurrent rows).
+func recomputeNN(ws []work, c int, cDist *obs.Counter) {
 	w := &ws[c]
 	w.nn, w.nnD = -1, math.Inf(1)
+	var evals int64
 	for o := range ws {
 		if o == c || !ws[o].alive {
 			continue
 		}
+		evals += int64(len(w.reps) * len(ws[o].reps))
 		if d := clusterDist(w.reps, ws[o].reps); d < w.nnD {
 			w.nn, w.nnD = o, d
 		}
 	}
+	cDist.Add(evals)
 }
 
 // repairNN recomputes every cached neighbour after a trim pass removed
 // clusters. Each recomputation writes only its own cluster's cache and
 // reads state that is frozen during the repair, so the rows parallelize.
-func repairNN(ws []work, parallelism int) {
-	parallel.Do(len(ws), parallelism, func(c int) error {
+func repairNN(ws []work, parallelism int, rec *obs.Recorder, cDist *obs.Counter) {
+	parallel.DoObs(len(ws), parallelism, rec, func(c int) error {
 		if ws[c].alive {
-			recomputeNN(ws, c)
+			recomputeNN(ws, c, cDist)
 		}
 		return nil
 	})

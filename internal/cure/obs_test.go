@@ -1,0 +1,60 @@
+package cure
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Attaching a Recorder must leave the clustering bit-identical, at the
+// serial and a parallel worker count, with and without trim phases.
+func TestRunDeterministicWithRecorder(t *testing.T) {
+	rng := stats.NewRNG(5)
+	pts, _ := blobs(6, 80, rng)
+	for _, workers := range []int{1, 8} {
+		for _, trim := range []bool{false, true} {
+			opts := Options{K: 6, Parallelism: workers}
+			if trim {
+				opts.TrimAt = len(pts) / 3
+				opts.TrimMinSize = 3
+			}
+			ref, err := Run(pts, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := obs.New()
+			opts.Obs = rec
+			got, err := Run(pts, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameClusters(t, ref, got, "run")
+
+			if v := rec.Counter(obs.CtrCureMerges).Value(); v <= 0 {
+				t.Fatalf("cure_merges_total = %d, want > 0", v)
+			}
+			n := int64(len(pts))
+			if v := rec.Counter(obs.CtrCureDistEvals).Value(); v < n*(n-1) {
+				t.Fatalf("cure_dist_evals_total = %d, want at least the init table's %d", v, n*(n-1))
+			}
+		}
+	}
+}
+
+// RunPartitioned with a Recorder must match its own unobserved output too.
+func TestRunPartitionedDeterministicWithRecorder(t *testing.T) {
+	rng := stats.NewRNG(9)
+	pts, _ := blobs(6, 60, rng)
+	opts := Options{K: 6, Parallelism: 4}
+	ref, err := RunPartitioned(pts, opts, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Obs = obs.New()
+	got, err := RunPartitioned(pts, opts, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameClusters(t, ref, got, "partitioned")
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -47,7 +48,11 @@ func RunPartitioned(pts []geom.Point, opts Options, partitions, reduction int) (
 	per := (len(pts) + partitions - 1) / partitions
 	numParts := (len(pts) + per - 1) / per
 	partClusters := make([][]Cluster, numParts)
-	err := parallel.Do(numParts, opts.Parallelism, func(pi int) error {
+	// Each pre-clustering carries opts.Obs along (the copy below includes
+	// it), so partition sub-runs contribute to the same "cure" span and
+	// counters; the span handles concurrent re-entry.
+	partSpan := opts.Obs.StartSpan("cure/partition")
+	err := parallel.DoObs(numParts, opts.Parallelism, opts.Obs, func(pi int) error {
 		start := pi * per
 		end := start + per
 		if end > len(pts) {
@@ -82,6 +87,7 @@ func RunPartitioned(pts []geom.Point, opts Options, partitions, reduction int) (
 		partClusters[pi] = clusters
 		return nil
 	})
+	partSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -120,9 +126,15 @@ func mergePartials(pts []geom.Point, seeds []Cluster, opts Options) ([]Cluster, 
 			alive:   true,
 		}
 	}
+	rec := opts.Obs
+	span := rec.StartSpan("cure/merge_partials")
+	defer span.End()
+	cMerges := rec.Counter(obs.CtrCureMerges)
+	cDist := rec.Counter(obs.CtrCureDistEvals)
+	cTrim := rec.Counter(obs.CtrCureTrimmed)
 	alive := len(ws)
-	parallel.Do(len(ws), opts.Parallelism, func(i int) error {
-		recomputeNN(ws, i)
+	parallel.DoObs(len(ws), opts.Parallelism, rec, func(i int) error {
+		recomputeNN(ws, i, cDist)
 		return nil
 	})
 	finalTrimmed := opts.FinalTrimAt <= 0
@@ -135,8 +147,9 @@ func mergePartials(pts []geom.Point, seeds []Cluster, opts Options) ([]Cluster, 
 			removed := trim(ws, finalMin)
 			alive -= removed
 			finalTrimmed = true
+			cTrim.Add(int64(removed))
 			if removed > 0 {
-				repairNN(ws, opts.Parallelism)
+				repairNN(ws, opts.Parallelism, rec, cDist)
 			}
 			if alive <= opts.K {
 				break
@@ -151,7 +164,8 @@ func mergePartials(pts []geom.Point, seeds []Cluster, opts Options) ([]Cluster, 
 		if bi < 0 || ws[bi].nn < 0 {
 			break
 		}
-		merge(pts, ws, bi, ws[bi].nn, numReps, shrink)
+		merge(pts, ws, bi, ws[bi].nn, numReps, shrink, cDist)
+		cMerges.Inc()
 		alive--
 	}
 	var out []Cluster

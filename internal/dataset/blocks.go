@@ -9,8 +9,10 @@ import (
 	"math"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -141,23 +143,66 @@ func (b *blockBuf) fit(n, dims int) {
 // stops the scheduling of further blocks and ScanBlocks returns nil; any
 // other error aborts the scan and is returned.
 func ScanBlocks(ds Dataset, blockSize, parallelism int, fn func(block, start int, pts []geom.Point) error) error {
+	return ScanBlocksCfg(ds, ScanConfig{BlockSize: blockSize, Parallelism: parallelism}, fn)
+}
+
+// ScanConfig configures a block scan beyond the block size and worker
+// budget. The zero value matches ScanBlocks' defaults.
+type ScanConfig struct {
+	// BlockSize is the points per block (0 = parallel.DefaultBlockSize).
+	BlockSize int
+	// Parallelism bounds the scan workers (0 = all CPUs, 1 = serial).
+	Parallelism int
+	// Rec, when non-nil, is fed the scan's observability: one data pass,
+	// the points delivered per block, and the worker-pool accounting.
+	// Recording is per-block, never per-point, and does not affect which
+	// blocks run or what fn sees.
+	Rec *obs.Recorder
+	// Progress, when non-nil, is invoked after each completed block with
+	// the cumulative points delivered and the dataset size. Blocks finish
+	// in unspecified order under parallelism, so `done` advances
+	// monotonically but in block-sized jumps of any origin; the callback
+	// must be safe for concurrent use (obs.NewProgressPrinter is).
+	Progress func(done, total int)
+}
+
+// ScanBlocksCfg is ScanBlocks with observability and progress reporting.
+func ScanBlocksCfg(ds Dataset, cfg ScanConfig, fn func(block, start int, pts []geom.Point) error) error {
 	n := ds.Len()
 	if pc, ok := ds.(passCounter); ok {
 		pc.addPass()
 	}
-	blockSize = parallel.BlockSize(blockSize)
+	blockSize := parallel.BlockSize(cfg.BlockSize)
+	parallelism := cfg.Parallelism
+
+	if cfg.Rec != nil || cfg.Progress != nil {
+		cfg.Rec.Counter(obs.CtrDataPasses).Inc()
+		cPoints := cfg.Rec.Counter(obs.CtrPointsScanned)
+		var done atomic.Int64
+		inner := fn
+		fn = func(block, start int, pts []geom.Point) error {
+			err := inner(block, start, pts)
+			if err == nil {
+				cPoints.Add(int64(len(pts)))
+				if cfg.Progress != nil {
+					cfg.Progress(int(done.Add(int64(len(pts)))), n)
+				}
+			}
+			return err
+		}
+	}
 
 	if mem, ok := ds.(*InMemory); ok {
 		// Blocks are subslices of the backing array: zero copies.
 		pts := mem.pts
-		return stopToNil(parallel.Blocks(n, blockSize, parallelism, func(b, start, end int) error {
+		return stopToNil(parallel.BlocksObs(n, blockSize, parallelism, cfg.Rec, func(b, start, end int) error {
 			return fn(b, start, pts[start:end])
 		}))
 	}
 
 	if rs, ok := ds.(RangeScanner); ok {
 		dims := ds.Dims()
-		return stopToNil(parallel.Blocks(n, blockSize, parallelism, func(b, start, end int) error {
+		return stopToNil(parallel.BlocksObs(n, blockSize, parallelism, cfg.Rec, func(b, start, end int) error {
 			buf := blockBufPool.Get().(*blockBuf)
 			defer blockBufPool.Put(buf)
 			buf.fit(end-start, dims)

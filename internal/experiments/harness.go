@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Config selects the execution profile.
@@ -28,16 +30,35 @@ type Config struct {
 	// the parallel execution layer (0 = all CPUs, 1 = serial). Results
 	// never depend on it; only wall-clock does.
 	Parallelism int
+	// Obs, when non-nil, is threaded into the pipeline stages of the
+	// experiments that support it (dbsbench -metrics). Results never
+	// depend on it.
+	Obs *obs.Recorder
+}
+
+// BenchResult is one benchmark-style measurement in the BENCH_*.json
+// schema (see BENCH_obs.json) that dbsbench -json emits. Speedup, where
+// set, is relative to the experiment's own reference row (values below 1
+// mean slower — an overhead).
+type BenchResult struct {
+	Name         string  `json:"name"`
+	Iters        int     `json:"iters"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
 }
 
 // Table is a formatted experiment result.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	// Benchmarks carries the machine-readable form of the timing
+	// experiments' measurements for dbsbench -json.
+	Benchmarks []BenchResult `json:"benchmarks,omitempty"`
 	// Notes records parameter choices and deviations worth surfacing.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // String renders the table as aligned plain text.

@@ -55,7 +55,7 @@ func parallelExp(cfg Config) (*Table, error) {
 		var s *core.Sample
 		d, err := timed(func() error {
 			var derr error
-			s, derr = core.Draw(ds, est, core.Options{Alpha: 1, TargetSize: 1000, Parallelism: p}, stats.NewRNG(cfg.Seed))
+			s, derr = core.Draw(ds, est, core.Options{Alpha: 1, TargetSize: 1000, Parallelism: p, Obs: cfg.Obs}, stats.NewRNG(cfg.Seed))
 			return derr
 		})
 		if err != nil {
@@ -76,6 +76,13 @@ func parallelExp(cfg Config) (*Table, error) {
 			fmt.Sprintf("%.0f", float64(ds.Len())/sec),
 			fmt.Sprintf("%.2fx", refSec/sec),
 			identical,
+		})
+		t.Benchmarks = append(t.Benchmarks, BenchResult{
+			Name:         fmt.Sprintf("DrawParallel/%d", p),
+			Iters:        1,
+			NsPerOp:      d.Nanoseconds(),
+			PointsPerSec: float64(ds.Len()) / sec,
+			Speedup:      refSec / sec,
 		})
 	}
 	return t, nil

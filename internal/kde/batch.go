@@ -1,6 +1,9 @@
 package kde
 
-import "repro/internal/geom"
+import (
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+)
 
 // DensityBatch evaluates the density at every point of pts into
 // out[:len(pts)], equivalent to calling Density per point but built for
@@ -28,11 +31,23 @@ func (e *Estimator) DensityBatch(pts []geom.Point, out []float64) {
 	if len(out) < len(pts) {
 		panic("kde: DensityBatch output shorter than input")
 	}
+	// With a Recorder attached the counting twins run instead; they share
+	// the evaluation code shape and produce identical densities, differing
+	// only in traversal accounting. The dispatch keeps the disabled hot
+	// path free of even per-leaf counting.
 	switch e.kernel.(type) {
 	case Epanechnikov, Biweight, Triangular, Uniform:
-		e.compactBatch(pts, out)
+		if e.cKernelEvals != nil {
+			e.compactBatchObs(pts, out)
+		} else {
+			e.compactBatch(pts, out)
+		}
 	default:
-		e.ballBatch(pts, out)
+		if e.cKernelEvals != nil {
+			e.ballBatchObs(pts, out)
+		} else {
+			e.ballBatch(pts, out)
+		}
 	}
 }
 
@@ -76,6 +91,64 @@ func (e *Estimator) ballBatch(pts []geom.Point, out []float64) {
 		}
 		out[i] = e.weight * sum
 	}
+}
+
+// compactBatchObs is compactBatch with observability: it counts candidate
+// kernel evaluations (every center of every admitted leaf) and the
+// kd-tree nodes visited versus pruned, tallying locally and flushing one
+// atomic add per counter per batch call. Densities are identical to
+// compactBatch — the per-center arithmetic is shared.
+func (e *Estimator) compactBatchObs(pts []geom.Point, out []float64) {
+	_, epan := e.kernel.(Epanechnikov)
+	var leaves, stack []int32
+	var st kdtree.Stats
+	var evals int64
+	for i, p := range pts {
+		if p.Dims() != e.dims {
+			panic("kde: query dimension mismatch")
+		}
+		leaves, stack = e.tree.AppendBoxLeavesStats(p, e.boxReach, leaves[:0], stack, &st)
+		var sum float64
+		for l := 0; l < len(leaves); l += 2 {
+			idx := e.tree.Indices(leaves[l], leaves[l+1])
+			evals += int64(len(idx))
+			if epan {
+				sum += e.epanechnikovSum(idx, p)
+			} else {
+				for _, ci := range idx {
+					sum += e.kernelAt(int(ci), p)
+				}
+			}
+		}
+		out[i] = e.weight * sum
+	}
+	e.flushBatchStats(evals, st)
+}
+
+// ballBatchObs is ballBatch with the accounting of compactBatchObs.
+func (e *Estimator) ballBatchObs(pts []geom.Point, out []float64) {
+	var buf, stack []int32
+	var st kdtree.Stats
+	var evals int64
+	for i, p := range pts {
+		if p.Dims() != e.dims {
+			panic("kde: query dimension mismatch")
+		}
+		buf, stack = e.tree.WithinAppendStats(p, e.reach, buf[:0], stack, &st)
+		evals += int64(len(buf))
+		var sum float64
+		for _, ci := range buf {
+			sum += e.kernelAt(int(ci), p)
+		}
+		out[i] = e.weight * sum
+	}
+	e.flushBatchStats(evals, st)
+}
+
+func (e *Estimator) flushBatchStats(evals int64, st kdtree.Stats) {
+	e.cKernelEvals.Add(evals)
+	e.cKDVisited.Add(st.Visited)
+	e.cKDPruned.Add(st.Pruned)
 }
 
 // epanechnikovSum accumulates the unit-mass product-kernel values of the

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/kdtree"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/stats"
 )
@@ -44,6 +45,16 @@ type Options struct {
 	// 0 uses runtime.GOMAXPROCS(0), 1 is the serial reference path. The
 	// resulting estimator is identical for every setting.
 	Parallelism int
+
+	// Obs, when non-nil, receives the build span plus, from the finished
+	// estimator's DensityBatch calls, the kernel-evaluation and kd-tree
+	// traversal counters. The estimator itself is identical with or
+	// without it.
+	Obs *obs.Recorder
+
+	// Progress, when non-nil, is called periodically during the
+	// construction scan with (points seen, dataset size).
+	Progress func(done, total int)
 }
 
 // DefaultNumKernels is the paper's recommended kernel count (§4.4:
@@ -76,6 +87,25 @@ type Estimator struct {
 	// invScale caches their reciprocals.
 	scale    []float64
 	invScale []float64
+	// Observability counter handles (nil when no Recorder is attached —
+	// the batch evaluation paths test cKernelEvals to pick the counting
+	// variant, so the disabled hot path is unchanged).
+	cKernelEvals *obs.Counter
+	cKDVisited   *obs.Counter
+	cKDPruned    *obs.Counter
+}
+
+// SetRecorder attaches (or, with nil, detaches) a Recorder: subsequent
+// DensityBatch calls count candidate kernel evaluations and kd-tree nodes
+// visited versus pruned. Density values are identical either way.
+func (e *Estimator) SetRecorder(r *obs.Recorder) {
+	if r == nil {
+		e.cKernelEvals, e.cKDVisited, e.cKDPruned = nil, nil, nil
+		return
+	}
+	e.cKernelEvals = r.Counter(obs.CtrKernelEvals)
+	e.cKDVisited = r.Counter(obs.CtrKDNodesVisited)
+	e.cKDPruned = r.Counter(obs.CtrKDNodesPruned)
 }
 
 // Build constructs an estimator from one pass over ds: a reservoir of
@@ -109,13 +139,20 @@ func Build(ds interface {
 		return nil, fmt.Errorf("kde: %d bandwidths for %d dims", len(opts.Bandwidths), d)
 	}
 
+	span := opts.Obs.StartSpan("kde/build")
+	defer span.End()
+
 	// Single pass: reservoir sampling of centers + per-dim moments.
 	centers := make([]geom.Point, 0, ks)
 	mom := stats.NewMultiMoments(d)
+	total := ds.Len()
 	seen := 0
 	err := ds.Scan(func(p geom.Point) error {
 		mom.Add(p)
 		seen++
+		if opts.Progress != nil && seen%8192 == 0 {
+			opts.Progress(seen, total)
+		}
 		if len(centers) < ks {
 			centers = append(centers, p.Clone())
 			return nil
@@ -131,6 +168,12 @@ func Build(ds interface {
 	if seen == 0 {
 		return nil, errors.New("kde: empty dataset")
 	}
+	if opts.Progress != nil {
+		opts.Progress(seen, total)
+	}
+	span.AddPoints(int64(seen))
+	opts.Obs.Counter(obs.CtrDataPasses).Inc()
+	opts.Obs.Counter(obs.CtrPointsScanned).Add(int64(seen))
 
 	h := make([]float64, d)
 	if opts.Bandwidths != nil {
@@ -154,7 +197,12 @@ func Build(ds interface {
 		}
 	}
 
-	return newEstimator(kern, centers, h, seen, opts.AdaptiveK, opts.Parallelism)
+	est, err := newEstimator(kern, centers, h, seen, opts.AdaptiveK, opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	est.SetRecorder(opts.Obs)
+	return est, nil
 }
 
 // FromCenters builds an estimator directly from explicit centers and

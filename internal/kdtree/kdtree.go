@@ -360,6 +360,77 @@ func (t *Tree) AppendBoxLeaves(q geom.Point, radii []float64, leaves, stack []in
 // mutate it.
 func (t *Tree) Indices(start, end int32) []int32 { return t.idx[start:end] }
 
+// Stats accumulates traversal work counts for the observability layer:
+// Visited is the number of tree nodes examined, Pruned the number of far
+// subtrees the prune test skipped entirely. The counting variants below
+// duplicate their plain counterparts instead of branching inside them, so
+// the un-instrumented hot paths stay byte-identical to before.
+type Stats struct {
+	Visited int64
+	Pruned  int64
+}
+
+// AppendBoxLeavesStats is AppendBoxLeaves with traversal accounting into
+// st. Results are identical to AppendBoxLeaves.
+func (t *Tree) AppendBoxLeavesStats(q geom.Point, radii []float64, leaves, stack []int32, st *Stats) ([]int32, []int32) {
+	stack = append(stack[:0], 0)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.Visited++
+		n := &t.nodes[ni]
+		if n.split < 0 {
+			leaves = append(leaves, n.start, n.end)
+			continue
+		}
+		diff := q[n.split] - n.splitVal
+		near, far := n.left, n.right
+		if diff > 0 {
+			near, far = n.right, n.left
+		}
+		if -radii[n.split] <= diff && diff <= radii[n.split] {
+			stack = append(stack, far)
+		} else {
+			st.Pruned++
+		}
+		stack = append(stack, near)
+	}
+	return leaves, stack
+}
+
+// WithinAppendStats is WithinAppend with traversal accounting into st.
+// Results are identical to WithinAppend.
+func (t *Tree) WithinAppendStats(q geom.Point, r float64, buf []int32, stack []int32, st *Stats) ([]int32, []int32) {
+	r2 := r * r
+	stack = append(stack[:0], 0)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.Visited++
+		n := &t.nodes[ni]
+		if n.split < 0 {
+			for _, i := range t.idx[n.start:n.end] {
+				if geom.SquaredDistance(q, t.pts[i]) <= r2 {
+					buf = append(buf, i)
+				}
+			}
+			continue
+		}
+		diff := q[n.split] - n.splitVal
+		near, far := n.left, n.right
+		if diff > 0 {
+			near, far = n.right, n.left
+		}
+		if diff*diff <= r2 {
+			stack = append(stack, far)
+		} else {
+			st.Pruned++
+		}
+		stack = append(stack, near)
+	}
+	return buf, stack
+}
+
 func (t *Tree) within(ni int32, q geom.Point, r2 float64, out *[]int) {
 	n := &t.nodes[ni]
 	if n.split < 0 {

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Flags is the observability flag bundle shared by every cmd tool. A tool
+// registers it next to its own flags, calls Start after flag.Parse, hands
+// Run.Rec to the pipeline stages, and defers Run.Close.
+type Flags struct {
+	// Metrics selects the end-of-run report destination: "" disables it,
+	// "-" prints to stderr, anything else is a file path. A path ending in
+	// .json selects the JSON dump instead of the span-tree report.
+	Metrics string
+	// CPUProfile / MemProfile / Trace are output paths for the standard
+	// Go profiles (empty = off).
+	CPUProfile string
+	MemProfile string
+	Trace      string
+	// HTTP is an optional listen address serving /metrics (Prometheus
+	// exposition), /debug/vars, and /debug/pprof for the duration of the
+	// run.
+	HTTP string
+	// Progress enables the stderr progress ticker on long scans.
+	Progress bool
+}
+
+// Register installs the flags on fs (the tool's flag set).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Metrics, "metrics", "", "write the end-of-run metrics report: '-' = stderr, path = file ('.json' = JSON dump)")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write an end-of-run heap profile to this file")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&f.HTTP, "http", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+	fs.BoolVar(&f.Progress, "progress", false, "print scan progress (points processed / elapsed) to stderr")
+}
+
+// Run is one tool invocation's observability session.
+type Run struct {
+	// Rec is the recorder to thread through the pipeline options. It is
+	// nil when no flag asked for metrics — the disabled, near-zero-cost
+	// state — so tools can pass it through unconditionally.
+	Rec *Recorder
+
+	flags    Flags
+	stopProf func() error
+	server   *Server
+}
+
+// Start applies the parsed flags: allocates the Recorder if any consumer
+// of it was requested, starts the profiles, and brings up the HTTP
+// listener. The caller must Close the returned Run even on error paths
+// that occur after Start.
+func (f *Flags) Start() (*Run, error) {
+	run := &Run{flags: *f}
+	if f.Metrics != "" || f.HTTP != "" {
+		run.Rec = New()
+	}
+	stop, err := StartProfiles(f.CPUProfile, f.MemProfile, f.Trace)
+	run.stopProf = stop
+	if err != nil {
+		return run, err
+	}
+	if f.HTTP != "" {
+		srv, err := Serve(f.HTTP, run.Rec)
+		if err != nil {
+			return run, err
+		}
+		run.server = srv
+		fmt.Fprintf(os.Stderr, "obs: serving metrics and pprof on http://%s\n", srv.Addr())
+	}
+	return run, nil
+}
+
+// ProgressFunc returns the scan progress callback for the given stage
+// label, or nil when -progress is off — callers can assign it into scan
+// options unconditionally. The callback is a throttled stderr ticker.
+func (r *Run) ProgressFunc(label string) func(done, total int) {
+	if r == nil || !r.flags.Progress {
+		return nil
+	}
+	return NewProgressPrinter(os.Stderr, label, 250*time.Millisecond)
+}
+
+// Close finishes the session: flushes profiles, stops the HTTP listener,
+// and writes the metrics report. Safe on a Run returned alongside an
+// error.
+func (r *Run) Close() error {
+	if r == nil {
+		return nil
+	}
+	var first error
+	if r.stopProf != nil {
+		if err := r.stopProf(); err != nil {
+			first = err
+		}
+	}
+	if r.server != nil {
+		if err := r.server.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if m := r.flags.Metrics; m != "" && r.Rec != nil {
+		var w io.Writer
+		var fc io.Closer
+		if m == "-" {
+			w = os.Stderr
+		} else {
+			f, err := os.Create(m)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				return first
+			}
+			w, fc = f, f
+		}
+		var err error
+		if strings.HasSuffix(m, ".json") {
+			err = r.Rec.WriteJSON(w)
+		} else {
+			err = r.Rec.WriteTree(w)
+		}
+		if fc != nil {
+			if cerr := fc.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// NewProgressPrinter returns a scan progress callback that writes
+// "label: done/total points, elapsed" lines to w, at most once per
+// interval plus always on completion. The callback is safe for concurrent
+// use (block scans report from many workers) and tracks elapsed time from
+// its first invocation, so one printer serves one scan pass.
+func NewProgressPrinter(w io.Writer, label string, interval time.Duration) func(done, total int) {
+	var mu sync.Mutex
+	var started, last time.Time
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if started.IsZero() {
+			started = now
+		}
+		if done < total && !last.IsZero() && now.Sub(last) < interval {
+			return
+		}
+		last = now
+		fmt.Fprintf(w, "%s: %d/%d points, %.1fs elapsed\n", label, done, total, now.Sub(started).Seconds())
+	}
+}

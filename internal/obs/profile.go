@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiles starts whichever of the standard Go profiles have a
+// non-empty output path: a CPU profile, a heap profile (written at stop,
+// after a GC, so it reflects live memory at the end of the run), and a
+// runtime execution trace. It returns a stop function that finishes and
+// flushes everything started; the stop function is never nil and reports
+// the first error it hits. On a start error every already-started profile
+// is stopped before returning.
+func StartProfiles(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	var stops []func() error
+	stopAll := func() error {
+		var first error
+		// Reverse order: the CPU profile starts first and stops last, so
+		// it covers the trace's stop cost rather than the other way round.
+		for i := len(stops) - 1; i >= 0; i-- {
+			if e := stops[i](); e != nil && first == nil {
+				first = e
+			}
+		}
+		stops = nil
+		return first
+	}
+
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return stopAll, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stopAll, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			stopAll()
+			return func() error { return nil }, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			stopAll()
+			return func() error { return nil }, fmt.Errorf("obs: trace: %w", err)
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if memPath != "" {
+		stops = append(stops, func() error {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+			return f.Close()
+		})
+	}
+	return stopAll, nil
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Report rendering. All three formats are deterministic for a given
+// recorder state: counters and gauges are emitted in sorted name order,
+// spans in creation order (tree, JSON) or sorted path order (Prometheus),
+// so diffs between runs show changed values, never reshuffled keys. The
+// JSON dump carries the same quantities as the BENCH_*.json files
+// (seconds, points, points/sec per stage) so bench records can be cut
+// directly from it.
+
+// WriteTree writes the human-readable report: the span tree with wall
+// time, attributed points, and derived throughput, followed by the counter
+// and gauge tables. A nil Recorder writes a disabled notice.
+func (r *Recorder) WriteTree(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "observability disabled (nil recorder)\n")
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines [][2]string // aligned name column, value column
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		name := ""
+		for i := 0; i < depth; i++ {
+			name += "  "
+		}
+		name += s.name
+		val := fmt.Sprintf("%10.3fs", s.durationLocked().Seconds())
+		if pts := s.points.Load(); pts > 0 {
+			val += fmt.Sprintf("  %12d pts", pts)
+			if sec := s.durationLocked().Seconds(); sec > 0 {
+				val += fmt.Sprintf("  %12.0f pts/s", float64(pts)/sec)
+			}
+		}
+		lines = append(lines, [2]string{name, val})
+		for _, c := range s.child {
+			walk(c, depth+1)
+		}
+	}
+	for _, s := range r.roots {
+		walk(s, 1)
+	}
+
+	var b []byte
+	if len(lines) > 0 {
+		width := 0
+		for _, l := range lines {
+			if len(l[0]) > width {
+				width = len(l[0])
+			}
+		}
+		b = append(b, "spans:\n"...)
+		for _, l := range lines {
+			b = append(b, fmt.Sprintf("%-*s%s\n", width+2, l[0], l[1])...)
+		}
+	}
+	if len(r.counters) > 0 {
+		b = append(b, "counters:\n"...)
+		width := 0
+		names := r.counterNames()
+		for _, n := range names {
+			if len(n) > width {
+				width = len(n)
+			}
+		}
+		for _, n := range names {
+			b = append(b, fmt.Sprintf("  %-*s%12d\n", width+2, n, r.counters[n].Value())...)
+		}
+	}
+	if len(r.gauges) > 0 {
+		b = append(b, "gauges:\n"...)
+		width := 0
+		names := r.gaugeNames()
+		for _, n := range names {
+			if len(n) > width {
+				width = len(n)
+			}
+		}
+		for _, n := range names {
+			b = append(b, fmt.Sprintf("  %-*s%s\n", width+2, n, formatFloat(r.gauges[n].Value()))...)
+		}
+	}
+	if len(b) == 0 {
+		b = []byte("no observations recorded\n")
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// spanJSON mirrors one span node. Field order fixes the JSON key order.
+type spanJSON struct {
+	Name      string     `json:"name"`
+	Path      string     `json:"path"`
+	Seconds   float64    `json:"seconds"`
+	Points    int64      `json:"points,omitempty"`
+	PointsSec float64    `json:"points_per_sec,omitempty"`
+	Children  []spanJSON `json:"children,omitempty"`
+}
+
+type reportJSON struct {
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+	Spans    []spanJSON         `json:"spans"`
+}
+
+// WriteJSON writes the full recorder state as indented JSON with stable
+// key order (encoding/json sorts the counter and gauge maps; spans keep
+// creation order). A nil Recorder writes null.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "null\n")
+		return err
+	}
+	r.mu.Lock()
+	rep := reportJSON{
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]float64, len(r.gauges)),
+	}
+	for n, c := range r.counters {
+		rep.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		rep.Gauges[n] = g.Value()
+	}
+	var conv func(s *Span) spanJSON
+	conv = func(s *Span) spanJSON {
+		sec := s.durationLocked().Seconds()
+		j := spanJSON{Name: s.name, Path: s.path, Seconds: sec, Points: s.points.Load()}
+		if j.Points > 0 && sec > 0 {
+			j.PointsSec = float64(j.Points) / sec
+		}
+		for _, c := range s.child {
+			j.Children = append(j.Children, conv(c))
+		}
+		return j
+	}
+	rep.Spans = make([]spanJSON, 0, len(r.roots))
+	for _, s := range r.roots {
+		rep.Spans = append(rep.Spans, conv(s))
+	}
+	r.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// PromPrefix is prepended to every metric name in the Prometheus
+// exposition ("dbs" for density-biased sampling).
+const PromPrefix = "dbs_"
+
+// WritePrometheus writes the recorder state in the Prometheus text
+// exposition format (version 0.0.4): each counter and gauge as a metric of
+// the matching type under PromPrefix, and the span tree flattened into
+// dbs_span_seconds/dbs_span_points series labelled by span path. Output is
+// sorted by metric then label, so scrapes and goldens are stable. A nil
+// Recorder writes nothing.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b []byte
+	for _, n := range r.counterNames() {
+		b = append(b, fmt.Sprintf("# TYPE %s%s counter\n%s%s %d\n",
+			PromPrefix, n, PromPrefix, n, r.counters[n].Value())...)
+	}
+	for _, n := range r.gaugeNames() {
+		b = append(b, fmt.Sprintf("# TYPE %s%s gauge\n%s%s %s\n",
+			PromPrefix, n, PromPrefix, n, formatFloat(r.gauges[n].Value()))...)
+	}
+	if len(r.spans) > 0 {
+		paths := make([]string, 0, len(r.spans))
+		for p := range r.spans {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		b = append(b, fmt.Sprintf("# TYPE %sspan_seconds gauge\n", PromPrefix)...)
+		for _, p := range paths {
+			b = append(b, fmt.Sprintf("%sspan_seconds{span=%q} %s\n",
+				PromPrefix, p, formatFloat(r.spans[p].durationLocked().Seconds()))...)
+		}
+		b = append(b, fmt.Sprintf("# TYPE %sspan_points gauge\n", PromPrefix)...)
+		for _, p := range paths {
+			b = append(b, fmt.Sprintf("%sspan_points{span=%q} %d\n",
+				PromPrefix, p, r.spans[p].points.Load())...)
+		}
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

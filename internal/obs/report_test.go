@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// goldenRecorder builds a recorder with a fixed clock and a representative
+// mix of spans, counters, and gauges, so the report formats can be
+// compared byte-for-byte.
+func goldenRecorder() *Recorder {
+	clock := newFakeClock()
+	r := New()
+	r.now = clock.Now
+
+	draw := r.StartSpan("draw")
+	norm := r.StartSpan("draw/normalize")
+	clock.Advance(1500 * time.Millisecond)
+	norm.AddPoints(100000)
+	norm.End()
+	coin := r.StartSpan("draw/sample")
+	clock.Advance(500 * time.Millisecond)
+	coin.AddPoints(100000)
+	coin.End()
+	draw.AddPoints(100000)
+	draw.End()
+	cl := r.StartSpan("cure")
+	clock.Advance(250 * time.Millisecond)
+	cl.End()
+
+	r.Counter(CtrPointsScanned).Add(200000)
+	r.Counter(CtrCoinFlips).Add(100000)
+	r.Counter(CtrDataPasses).Add(2)
+	r.Gauge(GaugeSampleNorm).Set(1234.5)
+	r.Gauge(GaugeSampleDataPasses).Set(2)
+	return r
+}
+
+const goldenTree = `spans:
+  draw              2.000s        100000 pts         50000 pts/s
+    normalize       1.500s        100000 pts         66667 pts/s
+    sample          0.500s        100000 pts        200000 pts/s
+  cure              0.250s
+counters:
+  coin_flips_total            100000
+  data_passes_total                2
+  points_scanned_total        200000
+gauges:
+  sample_data_passes  2
+  sample_norm         1234.5
+`
+
+const goldenProm = `# TYPE dbs_coin_flips_total counter
+dbs_coin_flips_total 100000
+# TYPE dbs_data_passes_total counter
+dbs_data_passes_total 2
+# TYPE dbs_points_scanned_total counter
+dbs_points_scanned_total 200000
+# TYPE dbs_sample_data_passes gauge
+dbs_sample_data_passes 2
+# TYPE dbs_sample_norm gauge
+dbs_sample_norm 1234.5
+# TYPE dbs_span_seconds gauge
+dbs_span_seconds{span="cure"} 0.25
+dbs_span_seconds{span="draw"} 2
+dbs_span_seconds{span="draw/normalize"} 1.5
+dbs_span_seconds{span="draw/sample"} 0.5
+# TYPE dbs_span_points gauge
+dbs_span_points{span="cure"} 0
+dbs_span_points{span="draw"} 100000
+dbs_span_points{span="draw/normalize"} 100000
+dbs_span_points{span="draw/sample"} 100000
+`
+
+const goldenJSON = `{
+  "counters": {
+    "coin_flips_total": 100000,
+    "data_passes_total": 2,
+    "points_scanned_total": 200000
+  },
+  "gauges": {
+    "sample_data_passes": 2,
+    "sample_norm": 1234.5
+  },
+  "spans": [
+    {
+      "name": "draw",
+      "path": "draw",
+      "seconds": 2,
+      "points": 100000,
+      "points_per_sec": 50000,
+      "children": [
+        {
+          "name": "normalize",
+          "path": "draw/normalize",
+          "seconds": 1.5,
+          "points": 100000,
+          "points_per_sec": 66666.66666666667
+        },
+        {
+          "name": "sample",
+          "path": "draw/sample",
+          "seconds": 0.5,
+          "points": 100000,
+          "points_per_sec": 200000
+        }
+      ]
+    },
+    {
+      "name": "cure",
+      "path": "cure",
+      "seconds": 0.25
+    }
+  ]
+}
+`
+
+func TestGoldenTreeReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != goldenTree {
+		t.Fatalf("tree report mismatch\n--- got ---\n%s--- want ---\n%s", buf.String(), goldenTree)
+	}
+}
+
+func TestGoldenPrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != goldenProm {
+		t.Fatalf("prometheus exposition mismatch\n--- got ---\n%s--- want ---\n%s", buf.String(), goldenProm)
+	}
+}
+
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != goldenJSON {
+		t.Fatalf("JSON report mismatch\n--- got ---\n%s--- want ---\n%s", buf.String(), goldenJSON)
+	}
+	// Ordering must be reproducible: a second render is byte-identical,
+	// and the output round-trips as valid JSON.
+	var buf2 bytes.Buffer
+	if err := goldenRecorder().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatalf("JSON report not reproducible")
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/kdtree"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -38,6 +39,17 @@ type Params struct {
 	// execution option only — each detector partitions its work so that
 	// the reported outliers are identical for every setting.
 	Parallelism int
+
+	// Obs, when non-nil, records spans ("outlier/score",
+	// "outlier/verify") and the candidate/pruned/found counters.
+	// Recording never influences detection.
+	Obs *obs.Recorder
+
+	// Progress, when non-nil, is called from the dataset-scanning
+	// detectors with (points scanned so far, total) — at most once per
+	// block, from scan workers, so it must be safe for concurrent use.
+	// The count restarts at each pass.
+	Progress func(done, total int)
 }
 
 // FromFraction converts a fractional neighbour bound into Params
@@ -72,7 +84,7 @@ func NestedLoop(pts []geom.Point, prm Params) ([]int, error) {
 	// flag slice; collecting set flags in index order preserves the serial
 	// output exactly.
 	flags := make([]bool, len(pts))
-	parallel.Do(len(pts), prm.Parallelism, func(i int) error {
+	parallel.DoObs(len(pts), prm.Parallelism, prm.Obs, func(i int) error {
 		p := pts[i]
 		count := 0
 		flags[i] = true
@@ -116,7 +128,7 @@ func Exact(pts []geom.Point, prm Params) ([]int, error) {
 	}
 	tree := kdtree.Build(pts)
 	flags := make([]bool, len(pts))
-	parallel.Do(len(pts), prm.Parallelism, func(i int) error {
+	parallel.DoObs(len(pts), prm.Parallelism, prm.Obs, func(i int) error {
 		// CountWithin includes the query point itself (distance 0), so an
 		// outlier has at most P+1 in-range points; the limit lets the
 		// search abort as soon as P+2 are seen.
@@ -177,14 +189,22 @@ func Approximate(ds dataset.Dataset, est BallIntegrator, prm Params, opts Approx
 		return nil, errors.New("outlier: CandidateFactor must be ≥ 1")
 	}
 	threshold := cf * float64(prm.P+1)
+	rec := prm.Obs
+	scanCfg := dataset.ScanConfig{
+		Parallelism: prm.Parallelism,
+		Rec:         rec,
+		Progress:    prm.Progress,
+	}
 
 	// Pass 1: expected neighbour count per point; collect candidates.
 	// Each block gathers its own candidate slice and the slices are
 	// concatenated in block order, so the candidate set (and therefore
 	// everything downstream) is independent of the worker count.
-	numBlocks := parallel.NumBlocks(ds.Len(), parallel.BlockSize(0))
+	n := ds.Len()
+	scoreSpan := rec.StartSpan("outlier/score")
+	numBlocks := parallel.NumBlocks(n, parallel.BlockSize(0))
 	blockCands := make([][]geom.Point, numBlocks)
-	err := dataset.ScanBlocks(ds, 0, prm.Parallelism, func(block, start int, pts []geom.Point) error {
+	err := dataset.ScanBlocksCfg(ds, scanCfg, func(block, start int, pts []geom.Point) error {
 		var cands []geom.Point
 		for _, p := range pts {
 			if est.IntegrateBall(p, prm.K) <= threshold {
@@ -194,6 +214,8 @@ func Approximate(ds dataset.Dataset, est BallIntegrator, prm Params, opts Approx
 		blockCands[block] = cands
 		return nil
 	})
+	scoreSpan.AddPoints(int64(n))
+	scoreSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +223,8 @@ func Approximate(ds dataset.Dataset, est BallIntegrator, prm Params, opts Approx
 	for _, cands := range blockCands {
 		candidates = append(candidates, cands...)
 	}
+	rec.Counter(obs.CtrOutlierCands).Add(int64(len(candidates)))
+	rec.Counter(obs.CtrOutlierPruned).Add(int64(n - len(candidates)))
 	res := &Result{NumCandidates: len(candidates), DataPasses: 1}
 	if len(candidates) == 0 {
 		return res, nil
@@ -212,10 +236,11 @@ func Approximate(ds dataset.Dataset, est BallIntegrator, prm Params, opts Approx
 	// order-independent; each local count is capped at P+2 — enough to
 	// preserve the `> P+1` disqualification test on the merged sum while
 	// letting hot candidates stop accumulating early.
+	verifySpan := rec.StartSpan("outlier/verify")
 	tree := kdtree.Build(candidates)
 	counts := make([]int, len(candidates))
 	var mu sync.Mutex
-	err = dataset.ScanBlocks(ds, 0, prm.Parallelism, func(block, start int, pts []geom.Point) error {
+	err = dataset.ScanBlocksCfg(ds, scanCfg, func(block, start int, pts []geom.Point) error {
 		local := make([]int, len(candidates))
 		for _, p := range pts {
 			for _, ci := range tree.Within(p, prm.K) {
@@ -233,6 +258,8 @@ func Approximate(ds dataset.Dataset, est BallIntegrator, prm Params, opts Approx
 		mu.Unlock()
 		return nil
 	})
+	verifySpan.AddPoints(int64(n))
+	verifySpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -244,6 +271,7 @@ func Approximate(ds dataset.Dataset, est BallIntegrator, prm Params, opts Approx
 			res.Outliers = append(res.Outliers, c)
 		}
 	}
+	rec.Counter(obs.CtrOutlierFound).Add(int64(len(res.Outliers)))
 	return res, nil
 }
 
@@ -262,7 +290,8 @@ func EstimateCount(ds dataset.Dataset, est BallIntegrator, prm Params) (int, err
 	// Per-block tallies merged by addition: an order-independent integer
 	// reduction, so the estimate matches the serial scan exactly.
 	blockCounts := make([]int, parallel.NumBlocks(ds.Len(), parallel.BlockSize(0)))
-	err := dataset.ScanBlocks(ds, 0, prm.Parallelism, func(block, start int, pts []geom.Point) error {
+	cfg := dataset.ScanConfig{Parallelism: prm.Parallelism, Rec: prm.Obs, Progress: prm.Progress}
+	err := dataset.ScanBlocksCfg(ds, cfg, func(block, start int, pts []geom.Point) error {
 		c := 0
 		for _, p := range pts {
 			if est.IntegrateBall(p, prm.K) <= float64(prm.P+1) {

@@ -18,6 +18,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // DefaultBlockSize is the number of points per scheduling block when the
@@ -83,6 +85,15 @@ func BlockRange(b, n, blockSize int) (start, end int) {
 // calls complete) and is returned. Do never returns before every started
 // fn has finished.
 func Do(n, parallelism int, fn func(i int) error) error {
+	return DoObs(n, parallelism, nil, fn)
+}
+
+// DoObs is Do with worker-pool observability: when rec is non-nil, each
+// invocation records one pool run (inline or pooled), the tasks scheduled,
+// and the workers spawned. The accounting happens once per call, before
+// any fn runs, so it costs nothing per task and cannot perturb results —
+// scheduling is identical with rec nil or set.
+func DoObs(n, parallelism int, rec *obs.Recorder, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -90,6 +101,7 @@ func Do(n, parallelism int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	rec.PoolRun(n, workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
@@ -135,8 +147,13 @@ func Do(n, parallelism int, fn func(i int) error) error {
 // caller allocates per-block result slots up front (NumBlocks tells it how
 // many) and reduces them in block order afterwards.
 func Blocks(n, blockSize, parallelism int, fn func(b, start, end int) error) error {
+	return BlocksObs(n, blockSize, parallelism, nil, fn)
+}
+
+// BlocksObs is Blocks with the pool accounting of DoObs.
+func BlocksObs(n, blockSize, parallelism int, rec *obs.Recorder, fn func(b, start, end int) error) error {
 	nb := NumBlocks(n, blockSize)
-	return Do(nb, parallelism, func(b int) error {
+	return DoObs(nb, parallelism, rec, func(b int) error {
 		start, end := BlockRange(b, n, blockSize)
 		return fn(b, start, end)
 	})

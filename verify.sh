@@ -1,11 +1,16 @@
 #!/bin/sh
 # Tier-1 verification gate (see README.md, "Testing"). Everything here must
-# pass before a change lands: static checks, a full build, the complete
-# test suite, and the race detector over the packages that run concurrent
-# code (the parallel execution layer and its two biggest consumers).
+# pass before a change lands: formatting, static checks, a full build, the
+# complete test suite, the race detector over the packages that run
+# concurrent code (the parallel execution layer, its two biggest consumers,
+# and the observability layer's shared Recorder), and the observability
+# overhead guard (OBS_GUARD gates the timing assertion; see
+# obs_guard_test.go and BENCH_obs.json for the budget).
 set -eux
 
+test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/...
+go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/...
+OBS_GUARD=1 go test -run TestObsOverheadGuard .
