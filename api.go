@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -13,6 +14,14 @@ import (
 	"repro/internal/outlier"
 	"repro/internal/stats"
 )
+
+// ErrCanceled is returned (wrapped) by the pipeline stages when a run is
+// abandoned because its context was canceled or its deadline expired.
+// Cancellation checks are coarse — per scan block or merge step, never per
+// point — so latency is bounded by one block's work. Test with
+// errors.Is(err, ErrCanceled); the wrapped chain also matches
+// context.Canceled or context.DeadlineExceeded.
+var ErrCanceled = dataset.ErrCanceled
 
 // Recorder collects counters, gauges, and span timings from a pipeline
 // run; see the internal/obs package for the reports it can write. Pass
@@ -60,6 +69,14 @@ func OpenBinary(path string) (Dataset, error) { return dataset.OpenFile(path) }
 // SaveBinary writes any Dataset to the binary file format.
 func SaveBinary(path string, ds Dataset) error { return dataset.SaveBinary(path, ds) }
 
+// FingerprintDataset returns the 64-bit content fingerprint of ds — an
+// FNV-1a digest of its binary codec stream, identical for any worker count
+// and any Dataset implementation holding the same points. The serving
+// layer keys cached estimators and samples on it. Costs one dataset pass.
+func FingerprintDataset(ds Dataset, parallelism int) (uint64, error) {
+	return dataset.Fingerprint(ds, parallelism)
+}
+
 // Estimator is a kernel density estimator scaled so that its integral
 // over a region approximates the number of dataset points there.
 type Estimator = kde.Estimator
@@ -90,6 +107,9 @@ type SampleOptions struct {
 	// 0 uses runtime.GOMAXPROCS(0), 1 is the serial reference path. The
 	// drawn sample is identical for every setting.
 	Parallelism int
+	// Ctx, when non-nil, cancels the draw at block granularity; a done
+	// context aborts with ErrCanceled.
+	Ctx context.Context
 	// Obs, when non-nil, records the draw's spans, counters, and gauges.
 	Obs *Recorder
 	// Progress, when non-nil, receives (points scanned, total) at block
@@ -133,6 +153,7 @@ func BiasedSample(ds Dataset, est *Estimator, opts SampleOptions, rng *RNG) (*Sa
 		OnePass:      opts.OnePass,
 		FloorDensity: opts.FloorDensity,
 		Parallelism:  opts.Parallelism,
+		Ctx:          opts.Ctx,
 		Obs:          opts.Obs,
 		Progress:     opts.Progress,
 		VerifyNorm:   opts.VerifyNorm,
@@ -170,6 +191,9 @@ type ClusterOptions struct {
 	// phases: 0 uses runtime.GOMAXPROCS(0), 1 is the serial reference
 	// path. The clustering is identical for every setting.
 	Parallelism int
+	// Ctx, when non-nil, cancels the clustering at merge-step granularity;
+	// a done context aborts with ErrCanceled.
+	Ctx context.Context
 	// Obs, when non-nil, records the clustering's spans and counters.
 	Obs *Recorder
 }
@@ -181,17 +205,9 @@ type Cluster = cure.Cluster
 // points (§3.1). The returned clusters carry shrunk representative points
 // describing their shapes.
 func ClusterSample(pts []Point, opts ClusterOptions) ([]Cluster, error) {
-	co := cure.Options{K: opts.K, NumReps: opts.NumReps, Shrink: opts.Shrink, Parallelism: opts.Parallelism, Obs: opts.Obs}
+	co := cure.Options{K: opts.K, NumReps: opts.NumReps, Shrink: opts.Shrink, Parallelism: opts.Parallelism, Ctx: opts.Ctx, Obs: opts.Obs}
 	if opts.NoiseTrim {
-		n := len(pts)
-		co.TrimAt = n / 3
-		co.TrimMinSize = 3
-		co.FinalTrimAt = 5 * opts.K
-		min := n / 500
-		if min < 3 {
-			min = 3
-		}
-		co.FinalTrimMinSize = min
+		co.TrimAt, co.TrimMinSize, co.FinalTrimAt, co.FinalTrimMinSize = cure.NoiseTrimSizing(len(pts), opts.K, 500)
 	}
 	return cure.Run(pts, co)
 }
@@ -201,17 +217,9 @@ func ClusterSample(pts []Point, opts ClusterOptions) ([]Cluster, error) {
 // quadratic cost by roughly the partition count) and their partial
 // clusters merged into the final K.
 func ClusterSamplePartitioned(pts []Point, opts ClusterOptions, partitions int) ([]Cluster, error) {
-	co := cure.Options{K: opts.K, NumReps: opts.NumReps, Shrink: opts.Shrink, Parallelism: opts.Parallelism, Obs: opts.Obs}
+	co := cure.Options{K: opts.K, NumReps: opts.NumReps, Shrink: opts.Shrink, Parallelism: opts.Parallelism, Ctx: opts.Ctx, Obs: opts.Obs}
 	if opts.NoiseTrim {
-		n := len(pts)
-		co.TrimAt = n / 3
-		co.TrimMinSize = 3
-		co.FinalTrimAt = 5 * opts.K
-		min := n / 300
-		if min < 3 {
-			min = 3
-		}
-		co.FinalTrimMinSize = min
+		co.TrimAt, co.TrimMinSize, co.FinalTrimAt, co.FinalTrimMinSize = cure.NoiseTrimSizing(len(pts), opts.K, 300)
 	}
 	return cure.RunPartitioned(pts, co, partitions, 4)
 }

@@ -13,10 +13,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -52,6 +55,10 @@ func main() {
 		fatal("%v", err)
 	}
 	defer run.Close()
+	// Ctrl-C / SIGTERM cancel the passes at block granularity instead of
+	// leaving a long scan running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	ds, err := dataset.OpenFile(*in)
 	if err != nil {
 		fatal("%v", err)
@@ -95,6 +102,7 @@ func main() {
 			NumKernels:  *kernels,
 			Kernel:      kern,
 			Parallelism: *par,
+			Ctx:         ctx,
 			Obs:         run.Rec,
 			Progress:    run.ProgressFunc("estimator"),
 		}, rng)
@@ -106,6 +114,7 @@ func main() {
 			TargetSize:  *size,
 			OnePass:     *onePass,
 			Parallelism: *par,
+			Ctx:         ctx,
 			Obs:         run.Rec,
 			Progress:    run.ProgressFunc("sampling"),
 			VerifyNorm:  *onePass,

@@ -13,9 +13,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/cure"
@@ -53,6 +56,10 @@ func main() {
 		fatal("%v", err)
 	}
 	defer run.Close()
+	// Ctrl-C / SIGTERM cancel the pipeline at block granularity instead of
+	// leaving a long scan running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	ds, err := dataset.OpenFile(*in)
 	if err != nil {
 		fatal("%v", err)
@@ -65,6 +72,7 @@ func main() {
 		est, err := kde.Build(ds, kde.Options{
 			NumKernels:  *kernels,
 			Parallelism: *par,
+			Ctx:         ctx,
 			Obs:         run.Rec,
 			Progress:    run.ProgressFunc("estimator"),
 		}, rng)
@@ -75,6 +83,7 @@ func main() {
 			Alpha:       *alpha,
 			TargetSize:  *size,
 			Parallelism: *par,
+			Ctx:         ctx,
 			Obs:         run.Rec,
 			Progress:    run.ProgressFunc("sampling"),
 		}, rng)
@@ -102,12 +111,9 @@ func main() {
 		for i, wp := range weighted {
 			pts[i] = wp.P
 		}
-		opts := cure.Options{K: *k, NumReps: 10, Shrink: 0.3, Parallelism: *par, Obs: run.Rec}
+		opts := cure.Options{K: *k, NumReps: 10, Shrink: 0.3, Parallelism: *par, Ctx: ctx, Obs: run.Rec}
 		if *trim {
-			opts.TrimAt = len(pts) / 3
-			opts.TrimMinSize = 3
-			opts.FinalTrimAt = 5 * *k
-			opts.FinalTrimMinSize = maxInt(3, len(pts)/500)
+			opts.TrimAt, opts.TrimMinSize, opts.FinalTrimAt, opts.FinalTrimMinSize = cure.NoiseTrimSizing(len(pts), *k, 500)
 		}
 		clusters, err := cure.Run(pts, opts)
 		if err != nil {
@@ -182,13 +188,6 @@ func writeAssignments(ds dataset.Dataset, clusters []cure.Cluster, path string) 
 		return err
 	}
 	return f.Close()
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func fatal(format string, args ...interface{}) {

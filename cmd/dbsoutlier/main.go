@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/dataset"
 	"repro/internal/kde"
@@ -46,6 +49,10 @@ func main() {
 		fatal("%v", err)
 	}
 	defer run.Close()
+	// Ctrl-C / SIGTERM cancel the scans at block granularity instead of
+	// leaving a long pass running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	ds, err := dataset.OpenFile(*in)
 	if err != nil {
 		fatal("%v", err)
@@ -62,6 +69,7 @@ func main() {
 		fatal("set -p or -frac")
 	}
 	prm.Parallelism = *par
+	prm.Ctx = ctx
 	prm.Obs = run.Rec
 	prm.Progress = run.ProgressFunc("outlier scan")
 	rng := stats.NewRNG(*seed)
@@ -84,6 +92,7 @@ func main() {
 		est, err := kde.Build(ds, kde.Options{
 			NumKernels:  *kernels,
 			Parallelism: *par,
+			Ctx:         ctx,
 			Obs:         run.Rec,
 			Progress:    run.ProgressFunc("estimator"),
 		}, rng)
@@ -103,6 +112,7 @@ func main() {
 		est, err := kde.Build(ds, kde.Options{
 			NumKernels:  *kernels,
 			Parallelism: *par,
+			Ctx:         ctx,
 			Obs:         run.Rec,
 			Progress:    run.ProgressFunc("estimator"),
 		}, rng)

@@ -31,6 +31,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -138,6 +139,12 @@ type Options struct {
 	// once. Must be safe for concurrent use when Parallelism is not 1.
 	Progress func(done, total int)
 
+	// Ctx, when non-nil, cancels the draw: both scan passes check it at
+	// block granularity and a done context aborts with
+	// dataset.ErrCanceled (wrapping the context's own error). A draw that
+	// completes is unaffected by how close its deadline came.
+	Ctx context.Context
+
 	// VerifyNorm, with OnePass and a non-nil Obs, spends one extra
 	// dataset pass computing the exact normalizer k_a next to the
 	// one-pass approximation and records their relative disagreement in
@@ -229,7 +236,7 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 		}
 		if opts.VerifyNorm && rec != nil {
 			vspan := rec.StartSpan("draw/verify_norm")
-			exact, verr := exactNorm(ds, est, opts.Alpha, floor, opts.Parallelism, opts.BlockSize, nil, rec, nil)
+			exact, verr := exactNorm(opts.Ctx, ds, est, opts.Alpha, floor, opts.Parallelism, opts.BlockSize, nil, rec, nil)
 			vspan.AddPoints(int64(n))
 			vspan.End()
 			if verr != nil {
@@ -252,7 +259,7 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 		}
 		nspan := rec.StartSpan("draw/normalize")
 		var err error
-		norm, err = exactNorm(ds, est, opts.Alpha, floor, opts.Parallelism, opts.BlockSize, densCache, rec, opts.Progress)
+		norm, err = exactNorm(opts.Ctx, ds, est, opts.Alpha, floor, opts.Parallelism, opts.BlockSize, densCache, rec, opts.Progress)
 		nspan.AddPoints(int64(n))
 		nspan.End()
 		if err != nil {
@@ -280,6 +287,7 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 	err := dataset.ScanBlocksCfg(ds, dataset.ScanConfig{
 		BlockSize:   blockSize,
 		Parallelism: opts.Parallelism,
+		Ctx:         opts.Ctx,
 		Rec:         rec,
 		Progress:    opts.Progress,
 	}, func(block, start int, pts []geom.Point) error {
@@ -349,7 +357,7 @@ func ExactNorm(ds dataset.Dataset, est DensityEstimator, alpha, floor float64) (
 // completion-order or atomic reduction would make k_a depend on goroutine
 // scheduling).
 func ExactNormParallel(ds dataset.Dataset, est DensityEstimator, alpha, floor float64, parallelism, blockSize int) (float64, error) {
-	return exactNorm(ds, est, alpha, floor, parallelism, blockSize, nil, nil, nil)
+	return exactNorm(nil, ds, est, alpha, floor, parallelism, blockSize, nil, nil, nil)
 }
 
 // exactNorm is ExactNormParallel with an optional density cache: when
@@ -357,8 +365,8 @@ func ExactNormParallel(ds dataset.Dataset, est DensityEstimator, alpha, floor fl
 // at the block's global offset so a later pass can reuse them. Blocks
 // write disjoint ranges, so the cache needs no synchronization. rec and
 // progress, when non-nil, observe the scan (see Options.Obs/Progress);
-// neither influences the sum.
-func exactNorm(ds dataset.Dataset, est DensityEstimator, alpha, floor float64, parallelism, blockSize int, cache []float64, rec *obs.Recorder, progress func(done, total int)) (float64, error) {
+// neither influences the sum. ctx, when non-nil, cancels per block.
+func exactNorm(ctx context.Context, ds dataset.Dataset, est DensityEstimator, alpha, floor float64, parallelism, blockSize int, cache []float64, rec *obs.Recorder, progress func(done, total int)) (float64, error) {
 	if est == nil {
 		return 0, errors.New("core: nil density estimator")
 	}
@@ -368,6 +376,7 @@ func exactNorm(ds dataset.Dataset, est DensityEstimator, alpha, floor float64, p
 	err := dataset.ScanBlocksCfg(ds, dataset.ScanConfig{
 		BlockSize:   blockSize,
 		Parallelism: parallelism,
+		Ctx:         ctx,
 		Rec:         rec,
 		Progress:    progress,
 	}, func(block, start int, pts []geom.Point) error {

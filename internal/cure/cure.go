@@ -19,7 +19,9 @@
 package cure
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/geom"
@@ -72,6 +74,32 @@ type Options struct {
 	// merge/distance/trim counters. Recording never influences the
 	// clustering: outputs are bit-identical with Obs nil or set.
 	Obs *obs.Recorder
+
+	// Ctx, when non-nil, cancels the clustering: the merge loop checks it
+	// once per merge (and the initial NN table once per row block) and a
+	// done context aborts with parallel.ErrCanceled wrapping the context's
+	// error. A run that completes is unaffected.
+	Ctx context.Context
+}
+
+// NoiseTrimSizing returns the two-phase outlier-elimination thresholds for
+// clustering an n-point sample that carries background noise into k
+// clusters: the first trim fires when n/3 clusters remain and drops
+// clusters under 3 members (CURE §4.1's "one third" heuristic), the final
+// trim fires at 5k clusters and drops clusters under max(3, n/divisor)
+// members. divisor controls the final trim's aggression — single-partition
+// runs use 500, partitioned runs 300 (partitions leave more residue).
+// Shared by the public API and the serving layer so both size NoiseTrim
+// identically.
+func NoiseTrimSizing(n, k, divisor int) (trimAt, trimMinSize, finalTrimAt, finalTrimMinSize int) {
+	trimAt = n / 3
+	trimMinSize = 3
+	finalTrimAt = 5 * k
+	finalTrimMinSize = n / divisor
+	if finalTrimMinSize < 3 {
+		finalTrimMinSize = 3
+	}
+	return trimAt, trimMinSize, finalTrimAt, finalTrimMinSize
 }
 
 // Cluster is one output cluster.
@@ -155,7 +183,7 @@ func Run(pts []geom.Point, opts Options) ([]Cluster, error) {
 	// the rows parallelize without changing the table. Every ordered pair
 	// is evaluated exactly once, hence the arithmetic n·(n-1) tally.
 	initSpan := rec.StartSpan("cure/init_nn")
-	parallel.DoObs(n, opts.Parallelism, rec, func(i int) error {
+	err := parallel.DoCtxObs(opts.Ctx, n, opts.Parallelism, rec, func(i int) error {
 		ws[i].nn, ws[i].nnD = -1, math.Inf(1)
 		for j := range ws {
 			if i == j {
@@ -169,10 +197,18 @@ func Run(pts []geom.Point, opts Options) ([]Cluster, error) {
 	})
 	cDist.Add(int64(n) * int64(n-1))
 	initSpan.End()
+	if err != nil {
+		return nil, err
+	}
 
 	trimmed := opts.TrimAt <= 0 // no trim requested ⇒ treat as done
 	finalTrimmed := opts.FinalTrimAt <= 0
 	for alive > opts.K {
+		if opts.Ctx != nil {
+			if cerr := opts.Ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("%w: %w", parallel.ErrCanceled, cerr)
+			}
+		}
 		if !trimmed && alive <= opts.TrimAt {
 			removed := trim(ws, trimMin)
 			alive -= removed

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -15,6 +16,11 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 )
+
+// ErrCanceled is the typed error a block scan returns when its
+// ScanConfig.Ctx is done; it is parallel.ErrCanceled, re-exported so scan
+// callers need not import the scheduling package to test for it.
+var ErrCanceled = parallel.ErrCanceled
 
 // RangeScanner is implemented by datasets that can scan an arbitrary
 // index range [start, end) independently of a full pass. ScanRange must be
@@ -31,8 +37,8 @@ type RangeScanner interface {
 // dataset types that track passes.
 type passCounter interface{ addPass() }
 
-func (m *InMemory) addPass()    { m.passes++ }
-func (fb *FileBacked) addPass() { fb.passes++ }
+func (m *InMemory) addPass()    { m.passes.Add(1) }
+func (fb *FileBacked) addPass() { fb.passes.Add(1) }
 
 // ScanRange implements RangeScanner over the backing slice.
 func (m *InMemory) ScanRange(start, end int, fn func(p geom.Point) error) error {
@@ -153,6 +159,11 @@ type ScanConfig struct {
 	BlockSize int
 	// Parallelism bounds the scan workers (0 = all CPUs, 1 = serial).
 	Parallelism int
+	// Ctx, when non-nil, cancels the scan: it is checked once per block
+	// (coarse — a block in flight always completes), and a done context
+	// aborts the pass with ErrCanceled. Cancellation never changes the
+	// blocks a completing scan delivers.
+	Ctx context.Context
 	// Rec, when non-nil, is fed the scan's observability: one data pass,
 	// the points delivered per block, and the worker-pool accounting.
 	// Recording is per-block, never per-point, and does not affect which
@@ -195,14 +206,14 @@ func ScanBlocksCfg(ds Dataset, cfg ScanConfig, fn func(block, start int, pts []g
 	if mem, ok := ds.(*InMemory); ok {
 		// Blocks are subslices of the backing array: zero copies.
 		pts := mem.pts
-		return stopToNil(parallel.BlocksObs(n, blockSize, parallelism, cfg.Rec, func(b, start, end int) error {
+		return stopToNil(parallel.BlocksCtxObs(cfg.Ctx, n, blockSize, parallelism, cfg.Rec, func(b, start, end int) error {
 			return fn(b, start, pts[start:end])
 		}))
 	}
 
 	if rs, ok := ds.(RangeScanner); ok {
 		dims := ds.Dims()
-		return stopToNil(parallel.BlocksObs(n, blockSize, parallelism, cfg.Rec, func(b, start, end int) error {
+		return stopToNil(parallel.BlocksCtxObs(cfg.Ctx, n, blockSize, parallelism, cfg.Rec, func(b, start, end int) error {
 			buf := blockBufPool.Get().(*blockBuf)
 			defer blockBufPool.Put(buf)
 			buf.fit(end-start, dims)
@@ -232,6 +243,9 @@ func ScanBlocksCfg(ds Dataset, cfg ScanConfig, fn func(block, start int, pts []g
 	stopped := false
 	err := ds.Scan(func(p geom.Point) error {
 		if fill == 0 {
+			if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+				return fmt.Errorf("%w: %w", ErrCanceled, cfg.Ctx.Err())
+			}
 			start, end := parallel.BlockRange(block, n, blockSize)
 			buf.fit(end-start, dims)
 		}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/geom"
 )
@@ -114,12 +115,13 @@ func LoadBinary(path string) (*InMemory, error) {
 
 // FileBacked is a Dataset that streams passes directly from a binary file,
 // holding only one point in memory at a time. It models the paper's setting
-// of datasets too large to materialize.
+// of datasets too large to materialize. Each scan opens its own handle and
+// the pass counter is atomic, so one FileBacked may serve concurrent scans.
 type FileBacked struct {
 	path   string
 	dims   int
 	count  int
-	passes int
+	passes atomic.Int64
 }
 
 // OpenFile validates the header of a binary dataset file and returns a
@@ -147,7 +149,7 @@ func OpenFile(path string) (*FileBacked, error) {
 
 // Scan implements Dataset by streaming the file once.
 func (fb *FileBacked) Scan(fn func(p geom.Point) error) error {
-	fb.passes++
+	fb.passes.Add(1)
 	f, err := os.Open(fb.path)
 	if err != nil {
 		return err
@@ -183,7 +185,7 @@ func (fb *FileBacked) Len() int { return fb.count }
 func (fb *FileBacked) Dims() int { return fb.dims }
 
 // Passes implements Dataset.
-func (fb *FileBacked) Passes() int { return fb.passes }
+func (fb *FileBacked) Passes() int { return int(fb.passes.Load()) }
 
 // WriteCSV streams ds as comma-separated rows, one point per line, for
 // interoperability with plotting tools.

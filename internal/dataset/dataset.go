@@ -15,6 +15,7 @@ package dataset
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/geom"
 )
@@ -45,11 +46,13 @@ type Dataset interface {
 	Passes() int
 }
 
-// InMemory is a Dataset backed by a point slice.
+// InMemory is a Dataset backed by a point slice. The pass counter is
+// atomic, so concurrent scans of one shared InMemory (the serving layer
+// runs many requests over one registered dataset) are safe.
 type InMemory struct {
 	pts    []geom.Point
 	dims   int
-	passes int
+	passes atomic.Int64
 }
 
 // NewInMemory wraps pts as a Dataset. The slice is retained, not copied;
@@ -83,7 +86,7 @@ func MustInMemory(pts []geom.Point) *InMemory {
 
 // Scan implements Dataset.
 func (m *InMemory) Scan(fn func(p geom.Point) error) error {
-	m.passes++
+	m.passes.Add(1)
 	for _, p := range m.pts {
 		if err := fn(p); err != nil {
 			if errors.Is(err, ErrStopScan) {
@@ -102,11 +105,27 @@ func (m *InMemory) Len() int { return len(m.pts) }
 func (m *InMemory) Dims() int { return m.dims }
 
 // Passes implements Dataset.
-func (m *InMemory) Passes() int { return m.passes }
+func (m *InMemory) Passes() int { return int(m.passes.Load()) }
 
 // Points exposes the backing slice for algorithms that have already paid
 // for materialization (e.g. clustering a sample). Callers must not mutate.
 func (m *InMemory) Points() []geom.Point { return m.pts }
+
+// Append adds points to the dataset. Every appended point must match the
+// dataset's dimensionality and be finite; on error nothing is appended.
+// Not safe concurrently with scans.
+func (m *InMemory) Append(pts ...geom.Point) error {
+	for i, p := range pts {
+		if p.Dims() != m.dims {
+			return fmt.Errorf("dataset: append point %d has %d dims, want %d", i, p.Dims(), m.dims)
+		}
+		if !p.IsFinite() {
+			return fmt.Errorf("dataset: append point %d has non-finite coordinates", i)
+		}
+	}
+	m.pts = append(m.pts, pts...)
+	return nil
+}
 
 // Collect materializes any Dataset into memory with one pass.
 func Collect(ds Dataset) (*InMemory, error) {

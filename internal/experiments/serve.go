@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+func init() {
+	register("serve", "serving layer: cold vs cache-hit /v1/sample latency", serveExp)
+}
+
+// serveExp measures what the artifact cache buys an HTTP client of
+// /v1/sample. An httptest server is loaded with a synthetic clustered
+// dataset; "cold" requests vary the seed so every one misses the cache and
+// pays the full pipeline (estimator build + two sampling passes), while
+// "hit" requests repeat one seed so everything after the first is served
+// from the cached sample artifact. The table reports p50/p99 over the
+// request latencies; the speedup column (cold p50 over hit p50) is the
+// cache's effect on the median request.
+func serveExp(cfg Config) (*Table, error) {
+	n := 100000
+	reqs := 30
+	if cfg.Quick {
+		n = 20000
+		reqs = 10
+	}
+	setup := stats.NewRNG(cfg.Seed)
+	l := synth.EqualClusters(10, 4, n, 0.10, setup)
+
+	srv := server.New(server.Config{
+		Parallelism: cfg.Parallelism,
+		Rec:         cfg.Obs,
+	})
+	if err := srv.Registry().RegisterDataset("bench", l.Dataset()); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(seed uint64) (time.Duration, error) {
+		body := fmt.Sprintf(`{"dataset":"bench","alpha":1,"size":1000,"kernels":500,"seed":%d}`, seed)
+		start := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/sample", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("serve: /v1/sample returned %d", resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+
+	// Cold: a fresh seed per request — every one is a cache miss. Seeds
+	// offset past the hit seed so the two phases never collide.
+	cold := make([]float64, 0, reqs)
+	for i := 0; i < reqs; i++ {
+		d, err := post(1000 + uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		cold = append(cold, float64(d.Nanoseconds()))
+	}
+	// Hit: one warming request, then repeats of the same seed are served
+	// from the cached artifact without a single dataset pass.
+	if _, err := post(1); err != nil {
+		return nil, err
+	}
+	hit := make([]float64, 0, reqs)
+	for i := 0; i < reqs; i++ {
+		d, err := post(1)
+		if err != nil {
+			return nil, err
+		}
+		hit = append(hit, float64(d.Nanoseconds()))
+	}
+
+	coldP50, coldP99 := stats.Quantile(cold, 0.50), stats.Quantile(cold, 0.99)
+	hitP50, hitP99 := stats.Quantile(hit, 0.50), stats.Quantile(hit, 0.99)
+
+	t := &Table{
+		Columns: []string{"phase", "requests", "p50 ms", "p99 ms", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("POST /v1/sample, n = %d, d = 4, a = 1, b = 1000, 500 kernels, %d requests per phase", n, reqs),
+			"cold = unique seed per request (all misses); hit = repeated seed (cached sample artifact)",
+			"speedup is cold p50 over hit p50 — what the cache saves the median request",
+		},
+	}
+	ms := func(ns float64) string { return fmt.Sprintf("%.3f", ns/1e6) }
+	t.Rows = append(t.Rows,
+		[]string{"cold", fmt.Sprintf("%d", reqs), ms(coldP50), ms(coldP99), "1.000x"},
+		[]string{"cache-hit", fmt.Sprintf("%d", reqs), ms(hitP50), ms(hitP99), fmt.Sprintf("%.3fx", coldP50/hitP50)},
+	)
+	t.Benchmarks = append(t.Benchmarks,
+		BenchResult{Name: "Serve_sample_cold_p50", Iters: reqs, NsPerOp: int64(coldP50), PointsPerSec: float64(n) / (coldP50 / 1e9), Speedup: 1},
+		BenchResult{Name: "Serve_sample_cold_p99", Iters: reqs, NsPerOp: int64(coldP99), PointsPerSec: float64(n) / (coldP99 / 1e9)},
+		BenchResult{Name: "Serve_sample_hit_p50", Iters: reqs, NsPerOp: int64(hitP50), PointsPerSec: float64(n) / (hitP50 / 1e9), Speedup: coldP50 / hitP50},
+		BenchResult{Name: "Serve_sample_hit_p99", Iters: reqs, NsPerOp: int64(hitP99), PointsPerSec: float64(n) / (hitP99 / 1e9), Speedup: coldP99 / hitP99},
+	)
+	return t, nil
+}

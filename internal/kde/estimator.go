@@ -1,10 +1,12 @@
 package kde
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/kdtree"
 	"repro/internal/obs"
@@ -45,6 +47,11 @@ type Options struct {
 	// 0 uses runtime.GOMAXPROCS(0), 1 is the serial reference path. The
 	// resulting estimator is identical for every setting.
 	Parallelism int
+
+	// Ctx, when non-nil, cancels estimator construction: the build scan
+	// checks it every few thousand points and a done context aborts with
+	// dataset.ErrCanceled wrapping the context's error.
+	Ctx context.Context
 
 	// Obs, when non-nil, receives the build span plus, from the finished
 	// estimator's DensityBatch calls, the kernel-evaluation and kd-tree
@@ -150,6 +157,11 @@ func Build(ds interface {
 	err := ds.Scan(func(p geom.Point) error {
 		mom.Add(p)
 		seen++
+		if seen%4096 == 0 && opts.Ctx != nil {
+			if cerr := opts.Ctx.Err(); cerr != nil {
+				return fmt.Errorf("%w: %w", dataset.ErrCanceled, cerr)
+			}
+		}
 		if opts.Progress != nil && seen%8192 == 0 {
 			opts.Progress(seen, total)
 		}

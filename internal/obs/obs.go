@@ -212,6 +212,57 @@ func (r *Recorder) gaugeNames() []string {
 	return names
 }
 
+// Counters returns a point-in-time snapshot of every registered counter.
+// Nil and empty Recorders return an empty (nil) map. The serving layer
+// uses it to roll a per-request Recorder's tallies up into the
+// server-level one.
+func (r *Recorder) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Gauges returns a point-in-time snapshot of every registered gauge.
+func (r *Recorder) Gauges() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.gauges) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// Merge adds every counter of src into r (gauges and spans are not
+// merged: a gauge is a last-written-wins value with no meaningful sum, and
+// span trees belong to one run). Nil receivers and nil sources no-op.
+func (r *Recorder) Merge(src *Recorder) {
+	if r == nil || src == nil {
+		return
+	}
+	for name, v := range src.Counters() {
+		if v != 0 {
+			r.Counter(name).Add(v)
+		}
+	}
+}
+
 // PoolRun records one parallel.Do invocation scheduling tasks items over
 // workers goroutines (workers ≤ 1 means the inline serial path). It backs
 // the worker-pool statistics without the parallel package needing counter

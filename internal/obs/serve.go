@@ -17,15 +17,12 @@ type Server struct {
 	srv *http.Server
 }
 
-// Serve starts the listener on addr (e.g. "localhost:6060"). The handlers
-// are mounted on a private mux — nothing is registered on
-// http.DefaultServeMux. A nil Recorder serves an empty /metrics.
-func Serve(addr string, r *Recorder) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	mux := http.NewServeMux()
+// Mount registers the observability handlers on mux: /metrics serves r's
+// Prometheus exposition (empty for a nil Recorder), /debug/vars the
+// process expvars, and /debug/pprof the standard profiling endpoints.
+// Exported so servers with their own mux (the dbsserve API) expose the
+// same endpoints Serve does.
+func Mount(mux *http.ServeMux, r *Recorder) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
@@ -36,6 +33,18 @@ func Serve(addr string, r *Recorder) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Serve starts the listener on addr (e.g. "localhost:6060"). The handlers
+// are mounted on a private mux — nothing is registered on
+// http.DefaultServeMux. A nil Recorder serves an empty /metrics.
+func Serve(addr string, r *Recorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	Mount(mux, r)
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
 	go s.srv.Serve(ln)
 	return s, nil

@@ -12,6 +12,7 @@
 package outlier
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -50,6 +51,11 @@ type Params struct {
 	// block, from scan workers, so it must be safe for concurrent use.
 	// The count restarts at each pass.
 	Progress func(done, total int)
+
+	// Ctx, when non-nil, cancels detection: every detector checks it at
+	// block (or row-batch) granularity and a done context aborts with
+	// parallel.ErrCanceled wrapping the context's error.
+	Ctx context.Context
 }
 
 // FromFraction converts a fractional neighbour bound into Params
@@ -84,7 +90,7 @@ func NestedLoop(pts []geom.Point, prm Params) ([]int, error) {
 	// flag slice; collecting set flags in index order preserves the serial
 	// output exactly.
 	flags := make([]bool, len(pts))
-	parallel.DoObs(len(pts), prm.Parallelism, prm.Obs, func(i int) error {
+	err := parallel.DoCtxObs(prm.Ctx, len(pts), prm.Parallelism, prm.Obs, func(i int) error {
 		p := pts[i]
 		count := 0
 		flags[i] = true
@@ -102,6 +108,9 @@ func NestedLoop(pts []geom.Point, prm Params) ([]int, error) {
 		}
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return collect(flags), nil
 }
 
@@ -128,13 +137,16 @@ func Exact(pts []geom.Point, prm Params) ([]int, error) {
 	}
 	tree := kdtree.Build(pts)
 	flags := make([]bool, len(pts))
-	parallel.DoObs(len(pts), prm.Parallelism, prm.Obs, func(i int) error {
+	err := parallel.DoCtxObs(prm.Ctx, len(pts), prm.Parallelism, prm.Obs, func(i int) error {
 		// CountWithin includes the query point itself (distance 0), so an
 		// outlier has at most P+1 in-range points; the limit lets the
 		// search abort as soon as P+2 are seen.
 		flags[i] = tree.CountWithin(pts[i], prm.K, prm.P+1) <= prm.P+1
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return collect(flags), nil
 }
 
@@ -192,6 +204,7 @@ func Approximate(ds dataset.Dataset, est BallIntegrator, prm Params, opts Approx
 	rec := prm.Obs
 	scanCfg := dataset.ScanConfig{
 		Parallelism: prm.Parallelism,
+		Ctx:         prm.Ctx,
 		Rec:         rec,
 		Progress:    prm.Progress,
 	}
@@ -290,7 +303,7 @@ func EstimateCount(ds dataset.Dataset, est BallIntegrator, prm Params) (int, err
 	// Per-block tallies merged by addition: an order-independent integer
 	// reduction, so the estimate matches the serial scan exactly.
 	blockCounts := make([]int, parallel.NumBlocks(ds.Len(), parallel.BlockSize(0)))
-	cfg := dataset.ScanConfig{Parallelism: prm.Parallelism, Rec: prm.Obs, Progress: prm.Progress}
+	cfg := dataset.ScanConfig{Parallelism: prm.Parallelism, Ctx: prm.Ctx, Rec: prm.Obs, Progress: prm.Progress}
 	err := dataset.ScanBlocksCfg(ds, cfg, func(block, start int, pts []geom.Point) error {
 		c := 0
 		for _, p := range pts {

@@ -15,12 +15,35 @@
 package parallel
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/obs"
 )
+
+// ErrCanceled is returned (wrapped, with the context's own error as a
+// second cause) when a context-aware run is abandoned because its context
+// was canceled or its deadline expired. Checks are coarse — once per task
+// or block, never per point — so cancellation latency is bounded by one
+// block's work. Test with errors.Is(err, ErrCanceled); the wrapped error
+// also matches context.Canceled / context.DeadlineExceeded as appropriate.
+var ErrCanceled = errors.New("parallel: canceled")
+
+// ctxErr converts a done context into the typed cancellation error, or
+// returns nil for a live (or nil) context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
 
 // DefaultBlockSize is the number of points per scheduling block when the
 // caller does not choose one. Large enough that per-block overhead
@@ -85,7 +108,15 @@ func BlockRange(b, n, blockSize int) (start, end int) {
 // calls complete) and is returned. Do never returns before every started
 // fn has finished.
 func Do(n, parallelism int, fn func(i int) error) error {
-	return DoObs(n, parallelism, nil, fn)
+	return DoCtxObs(nil, n, parallelism, nil, fn)
+}
+
+// DoCtx is Do with coarse cancellation: the context is checked once before
+// each task (never inside one), and a done context stops the distribution
+// of further indices and returns ErrCanceled (wrapped). A nil ctx disables
+// the checks.
+func DoCtx(ctx context.Context, n, parallelism int, fn func(i int) error) error {
+	return DoCtxObs(ctx, n, parallelism, nil, fn)
 }
 
 // DoObs is Do with worker-pool observability: when rec is non-nil, each
@@ -94,6 +125,13 @@ func Do(n, parallelism int, fn func(i int) error) error {
 // any fn runs, so it costs nothing per task and cannot perturb results —
 // scheduling is identical with rec nil or set.
 func DoObs(n, parallelism int, rec *obs.Recorder, fn func(i int) error) error {
+	return DoCtxObs(nil, n, parallelism, rec, fn)
+}
+
+// DoCtxObs is Do with both the cancellation of DoCtx and the accounting of
+// DoObs. Cancellation never changes the result of a run that completes:
+// tasks either all run, or the call returns ErrCanceled.
+func DoCtxObs(ctx context.Context, n, parallelism int, rec *obs.Recorder, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -104,6 +142,9 @@ func DoObs(n, parallelism int, rec *obs.Recorder, fn func(i int) error) error {
 	rec.PoolRun(n, workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -124,6 +165,11 @@ func DoObs(n, parallelism int, rec *obs.Recorder, fn func(i int) error) error {
 			defer wg.Done()
 			for {
 				if failed.Load() {
+					return
+				}
+				if err := ctxErr(ctx); err != nil {
+					errOnce.Do(func() { firstE = err })
+					failed.Store(true)
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -152,8 +198,14 @@ func Blocks(n, blockSize, parallelism int, fn func(b, start, end int) error) err
 
 // BlocksObs is Blocks with the pool accounting of DoObs.
 func BlocksObs(n, blockSize, parallelism int, rec *obs.Recorder, fn func(b, start, end int) error) error {
+	return BlocksCtxObs(nil, n, blockSize, parallelism, rec, fn)
+}
+
+// BlocksCtxObs is Blocks with per-block cancellation (the context is
+// checked before each block is scheduled, see DoCtx) and pool accounting.
+func BlocksCtxObs(ctx context.Context, n, blockSize, parallelism int, rec *obs.Recorder, fn func(b, start, end int) error) error {
 	nb := NumBlocks(n, blockSize)
-	return DoObs(nb, parallelism, rec, func(b int) error {
+	return DoCtxObs(ctx, nb, parallelism, rec, func(b int) error {
 		start, end := BlockRange(b, n, blockSize)
 		return fn(b, start, end)
 	})

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned when the in-flight limit and the wait queue are
+// both full, or a queued request's deadline expires before a slot frees.
+// Handlers map it to 429 Too Many Requests — the load-shedding contract:
+// a saturated server answers immediately rather than queueing unboundedly.
+var ErrSaturated = errors.New("server: saturated")
+
+// ErrDraining is returned once shutdown has begun; handlers map it to 503
+// so load balancers stop routing here while in-flight requests finish.
+var ErrDraining = errors.New("server: draining")
+
+// Admission bounds the compute endpoints: at most maxInFlight requests
+// execute the pipeline concurrently, at most maxQueue more wait for a slot
+// (bounded by their own deadlines), and everything beyond that is shed
+// with ErrSaturated. The in-flight bound is what keeps Parallelism-wide
+// scans from oversubscribing the machine: total workers ≈ maxInFlight ×
+// per-request parallelism.
+type Admission struct {
+	slots chan struct{}
+	queue chan struct{}
+
+	draining atomic.Bool
+	inFlight atomic.Int64
+	queued   atomic.Int64
+	shed     atomic.Int64
+}
+
+// NewAdmission returns a controller admitting maxInFlight concurrent
+// requests with a wait queue of maxQueue (clamped to ≥ 1 and ≥ 0).
+func NewAdmission(maxInFlight, maxQueue int) *Admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{
+		slots: make(chan struct{}, maxInFlight),
+		queue: make(chan struct{}, maxQueue),
+	}
+}
+
+// Enter admits the request or rejects it. On success the returned release
+// must be called exactly once when the request finishes. Rejections:
+// ErrDraining after StartDraining, ErrSaturated when slot and queue are
+// full or ctx expires while queued.
+func (a *Admission) Enter(ctx context.Context) (release func(), err error) {
+	if a.draining.Load() {
+		return nil, ErrDraining
+	}
+	select {
+	case a.slots <- struct{}{}:
+	default:
+		// No free slot: wait in the bounded queue, up to the deadline.
+		select {
+		case a.queue <- struct{}{}:
+		default:
+			a.shed.Add(1)
+			return nil, ErrSaturated
+		}
+		a.queued.Add(1)
+		select {
+		case a.slots <- struct{}{}:
+			a.queued.Add(-1)
+			<-a.queue
+		case <-ctx.Done():
+			a.queued.Add(-1)
+			<-a.queue
+			a.shed.Add(1)
+			return nil, fmt.Errorf("%w: %w", ErrSaturated, ctx.Err())
+		}
+	}
+	a.inFlight.Add(1)
+	return func() {
+		a.inFlight.Add(-1)
+		<-a.slots
+	}, nil
+}
+
+// StartDraining flips the controller into drain mode: every subsequent
+// Enter fails with ErrDraining while requests already admitted run to
+// completion. It is idempotent.
+func (a *Admission) StartDraining() { a.draining.Store(true) }
+
+// Draining reports whether drain mode has begun.
+func (a *Admission) Draining() bool { return a.draining.Load() }
+
+// InFlight returns the number of admitted, unfinished requests.
+func (a *Admission) InFlight() int64 { return a.inFlight.Load() }
+
+// Queued returns the number of requests waiting for a slot.
+func (a *Admission) Queued() int64 { return a.queued.Load() }
+
+// Shed returns the number of requests rejected with ErrSaturated.
+func (a *Admission) Shed() int64 { return a.shed.Load() }

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionBounds(t *testing.T) {
+	a := NewAdmission(2, 0)
+	ctx := context.Background()
+	rel1, err := a.Enter(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.Enter(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Errorf("in flight = %d, want 2", got)
+	}
+	// Slots and queue full: immediate shed.
+	if _, err := a.Enter(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if a.Shed() != 1 {
+		t.Errorf("shed = %d, want 1", a.Shed())
+	}
+	rel1()
+	rel2()
+	if got := a.InFlight(); got != 0 {
+		t.Errorf("in flight after release = %d, want 0", got)
+	}
+	rel3, err := a.Enter(ctx)
+	if err != nil {
+		t.Fatalf("enter after release: %v", err)
+	}
+	rel3()
+}
+
+func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
+	a := NewAdmission(1, 1)
+	rel, err := a.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		rel2, err := a.Enter(context.Background())
+		if err == nil {
+			rel2()
+		}
+		got <- err
+	}()
+	// Give the goroutine time to enter the queue, then free the slot.
+	for a.Queued() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	rel()
+	if err := <-got; err != nil {
+		t.Fatalf("queued request rejected: %v", err)
+	}
+}
+
+func TestAdmissionDeadlineWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 1)
+	rel, err := a.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = a.Enter(ctx)
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v does not carry the deadline cause", err)
+	}
+	if a.Queued() != 0 {
+		t.Errorf("queued = %d after timeout, want 0", a.Queued())
+	}
+}
+
+func TestAdmissionDraining(t *testing.T) {
+	a := NewAdmission(4, 4)
+	rel, err := a.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.StartDraining()
+	if !a.Draining() {
+		t.Error("Draining() = false after StartDraining")
+	}
+	if _, err := a.Enter(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("err = %v, want ErrDraining", err)
+	}
+	// Admitted work finishes normally during the drain.
+	rel()
+	if a.InFlight() != 0 {
+		t.Errorf("in flight = %d, want 0", a.InFlight())
+	}
+}

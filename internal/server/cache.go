@@ -1,0 +1,133 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the pipeline artifact cache: an LRU over expensive intermediate
+// results (built KDE estimators, drawn samples) with byte-size accounting.
+// Keys canonicalize (dataset fingerprint, parameters, seed) — see
+// cacheKey in handlers.go — so a repeat query finds the artifact a previous
+// request built and skips its dataset passes entirely.
+//
+// Concurrent requests for the same missing key are single-flighted: the
+// first runs the build, the rest block on its completion and share the
+// result (counted as hits — they ran no passes). Failed builds are not
+// cached; every waiter receives the error and the next request retries.
+type Cache struct {
+	maxBytes int64
+
+	mu    sync.Mutex
+	used  int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type centry struct {
+	key   string
+	val   any
+	size  int64
+	done  bool // build finished (guarded by Cache.mu)
+	err   error
+	ready chan struct{} // closed when done
+}
+
+// NewCache returns a cache bounded to maxBytes of accounted artifact size.
+// maxBytes ≤ 0 disables storage: every lookup builds (still single-flighted
+// for concurrent identical requests).
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{maxBytes: maxBytes, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// GetOrBuild returns the artifact cached under key, or runs build to
+// create it. build returns the artifact and its accounted byte size.
+// hit reports whether the caller avoided the build (including joining an
+// in-flight one).
+func (c *Cache) GetOrBuild(key string, build func() (any, int64, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*centry)
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, false, e.err
+		}
+		c.hits.Add(1)
+		return e.val, true, nil
+	}
+	e := &centry{key: key, ready: make(chan struct{})}
+	el := c.ll.PushFront(e)
+	c.items[key] = el
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	v, size, err := build()
+	c.mu.Lock()
+	e.done = true
+	if err != nil {
+		e.err = err
+		if cur, ok := c.items[key]; ok && cur == el {
+			delete(c.items, key)
+			c.ll.Remove(el)
+		}
+	} else {
+		e.val, e.size = v, size
+		c.used += size
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, false, nil
+}
+
+// evictLocked drops least-recently-used completed entries until the byte
+// budget holds. In-flight builds are never evicted (their size is unknown
+// and waiters hold their entry); with a zero budget every completed entry
+// goes immediately.
+func (c *Cache) evictLocked() {
+	el := c.ll.Back()
+	for c.used > c.maxBytes && el != nil {
+		prev := el.Prev()
+		e := el.Value.(*centry)
+		if e.done {
+			delete(c.items, e.key)
+			c.ll.Remove(el)
+			c.used -= e.size
+			c.evictions.Add(1)
+		}
+		el = prev
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Bytes     int64 `json:"bytes"`
+	Items     int   `json:"items"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	bytes, items := c.used, len(c.items)
+	c.mu.Unlock()
+	return CacheStats{
+		Bytes:     bytes,
+		Items:     items,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

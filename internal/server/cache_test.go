@@ -1,0 +1,148 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := NewCache(1 << 20)
+	builds := 0
+	build := func() (any, int64, error) { builds++; return "artifact", 100, nil }
+
+	v, hit, err := c.GetOrBuild("k", build)
+	if err != nil || hit || v != "artifact" {
+		t.Fatalf("first: v=%v hit=%v err=%v", v, hit, err)
+	}
+	v, hit, err = c.GetOrBuild("k", build)
+	if err != nil || !hit || v != "artifact" {
+		t.Fatalf("second: v=%v hit=%v err=%v", v, hit, err)
+	}
+	if builds != 1 {
+		t.Errorf("builds = %d, want 1", builds)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Bytes != 100 || st.Items != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(250)
+	mk := func(key string) {
+		t.Helper()
+		if _, _, err := c.GetOrBuild(key, func() (any, int64, error) { return key, 100, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("a")
+	mk("b")
+	// Touch "a" so "b" is the LRU victim when "c" overflows the budget.
+	if _, hit, _ := c.GetOrBuild("a", nil); !hit {
+		t.Fatal("a should be cached")
+	}
+	mk("c")
+	st := c.Stats()
+	if st.Evictions != 1 || st.Bytes != 200 || st.Items != 2 {
+		t.Fatalf("stats after eviction = %+v", st)
+	}
+	if _, hit, _ := c.GetOrBuild("a", nil); !hit {
+		t.Error("recently used entry a was evicted")
+	}
+	if _, hit, _ := c.GetOrBuild("b", func() (any, int64, error) { return "b", 100, nil }); hit {
+		t.Error("LRU entry b survived eviction")
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(1 << 20)
+	var builds atomic.Int32
+	gate := make(chan struct{})
+	const waiters = 16
+	var wg sync.WaitGroup
+	hits := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := c.GetOrBuild("k", func() (any, int64, error) {
+				builds.Add(1)
+				<-gate
+				return 42, 8, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("goroutine %d: v=%v err=%v", i, v, err)
+			}
+			hits[i] = hit
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("%d builds for one key, want 1 (singleflight)", n)
+	}
+	nhits := 0
+	for _, h := range hits {
+		if h {
+			nhits++
+		}
+	}
+	if nhits != waiters-1 {
+		t.Errorf("%d hits, want %d (all but the builder)", nhits, waiters-1)
+	}
+}
+
+func TestCacheBuildErrorNotCached(t *testing.T) {
+	c := NewCache(1 << 20)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrBuild("k", func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failed build must not poison the key: the next call retries.
+	v, hit, err := c.GetOrBuild("k", func() (any, int64, error) { return "ok", 8, nil })
+	if err != nil || hit || v != "ok" {
+		t.Fatalf("retry: v=%v hit=%v err=%v", v, hit, err)
+	}
+	if st := c.Stats(); st.Items != 1 || st.Bytes != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheZeroBudgetStoresNothing(t *testing.T) {
+	c := NewCache(0)
+	builds := 0
+	for i := 0; i < 3; i++ {
+		v, hit, err := c.GetOrBuild("k", func() (any, int64, error) { builds++; return "v", 100, nil })
+		if err != nil || hit || v != "v" {
+			t.Fatalf("iter %d: v=%v hit=%v err=%v", i, v, hit, err)
+		}
+	}
+	if builds != 3 {
+		t.Errorf("builds = %d, want 3 (storage disabled)", builds)
+	}
+	if st := c.Stats(); st.Bytes != 0 || st.Items != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := NewCache(1 << 10)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%8)
+			if _, _, err := c.GetOrBuild(key, func() (any, int64, error) { return i, 64, nil }); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > 1<<10 {
+		t.Errorf("budget exceeded: %+v", st)
+	}
+}

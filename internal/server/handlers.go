@@ -1,0 +1,634 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"mime"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cure"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/kde"
+	"repro/internal/obs"
+	"repro/internal/outlier"
+	"repro/internal/stats"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleRemoveDataset)
+	s.mux.HandleFunc("POST /v1/sample", s.compute("/v1/sample", s.handleSample))
+	s.mux.HandleFunc("POST /v1/cluster", s.compute("/v1/cluster", s.handleCluster))
+	s.mux.HandleFunc("POST /v1/outliers", s.compute("/v1/outliers", s.handleOutliers))
+	obs.Mount(s.mux, s.rec)
+}
+
+// computeHandler is a pipeline endpoint: it runs under the admission
+// controller with a per-request deadline context and a per-request
+// Recorder whose counters are rolled into the server's afterwards.
+type computeHandler func(ctx context.Context, rec *obs.Recorder, w http.ResponseWriter, r *http.Request)
+
+// compute wraps a pipeline endpoint with admission control, the request
+// deadline, latency recording, and observability rollup. Cache state and
+// timing travel in headers only — response bodies stay a pure function of
+// (dataset, params, seed).
+func (s *Server) compute(route string, fn computeHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.rec.Counter(CtrRequests).Inc()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Deadline)
+		defer cancel()
+
+		release, err := s.adm.Enter(ctx)
+		if err != nil {
+			setCounter(s.rec.Counter(CtrShed), s.adm.Shed())
+			switch {
+			case errors.Is(err, ErrDraining):
+				s.fail(w, http.StatusServiceUnavailable, "draining")
+			case errors.Is(err, ErrSaturated):
+				s.fail(w, http.StatusTooManyRequests, "saturated: %d in flight, queue full", s.adm.InFlight())
+			default:
+				s.fail(w, http.StatusInternalServerError, "%v", err)
+			}
+			return
+		}
+		defer release()
+		s.syncGauges()
+
+		rec := obs.New()
+		defer func() {
+			s.rec.Merge(rec)
+			s.observe(route, start)
+		}()
+		fn(ctx, rec, w, r)
+	}
+}
+
+// fail writes the JSON error envelope and counts it.
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.rec.Counter(CtrErrors).Inc()
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// pipelineFail maps a pipeline error onto a status: cancellation from the
+// request deadline becomes 504, everything else 422 (the request was
+// well-formed but the pipeline rejected or could not finish it).
+func (s *Server) pipelineFail(w http.ResponseWriter, err error) {
+	if errors.Is(err, dataset.ErrCanceled) {
+		s.fail(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
+		return
+	}
+	s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(body, '\n'))
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<30))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// markCache reports hit/miss in a header, never in the body.
+func markCache(w http.ResponseWriter, hit bool) {
+	if hit {
+		w.Header().Set("X-DBS-Cache", "hit")
+	} else {
+		w.Header().Set("X-DBS-Cache", "miss")
+	}
+}
+
+// hexFloat canonicalizes a float for cache keys: the exact bit pattern,
+// so keys never depend on decimal formatting (0.1+0.2 and 0.3 differ).
+func hexFloat(v float64) string {
+	return strconv.FormatUint(math.Float64bits(v), 16)
+}
+
+// ---- health & registry endpoints ----
+
+type healthResponse struct {
+	Status   string                    `json:"status"`
+	Datasets int                       `json:"datasets"`
+	InFlight int64                     `json:"in_flight"`
+	Queued   int64                     `json:"queued"`
+	Shed     int64                     `json:"shed"`
+	Cache    CacheStats                `json:"cache"`
+	Latency  map[string]LatencySummary `json:"latency,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.rec.Counter(CtrRequests).Inc()
+	resp := healthResponse{
+		Status:   "ok",
+		Datasets: s.reg.Len(),
+		InFlight: s.adm.InFlight(),
+		Queued:   s.adm.Queued(),
+		Shed:     s.adm.Shed(),
+		Cache:    s.cache.Stats(),
+		Latency:  s.latencySummaries(),
+	}
+	code := http.StatusOK
+	if s.adm.Draining() {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	s.rec.Counter(CtrRequests).Inc()
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.reg.List()})
+}
+
+type registerRequest struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
+}
+
+func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	s.rec.Counter(CtrRequests).Inc()
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	switch ct {
+	case "", "application/json":
+		var req registerRequest
+		if err := decodeJSON(r, &req); err != nil {
+			s.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		if req.Path == "" {
+			s.fail(w, http.StatusBadRequest, "missing path (or upload with Content-Type application/octet-stream or text/csv)")
+			return
+		}
+		if err := s.reg.RegisterPath(req.Name, req.Path); err != nil {
+			s.registerFail(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name, "source": "file"})
+	case "application/octet-stream", "text/csv":
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			s.fail(w, http.StatusBadRequest, "uploads need a ?name= query parameter")
+			return
+		}
+		body := http.MaxBytesReader(w, r.Body, 1<<30)
+		var (
+			ds  *dataset.InMemory
+			err error
+		)
+		if ct == "text/csv" {
+			ds, err = dataset.ReadCSV(body)
+		} else {
+			ds, err = dataset.ReadBinary(body)
+		}
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "parsing upload: %v", err)
+			return
+		}
+		if err := s.reg.RegisterDataset(name, ds); err != nil {
+			s.registerFail(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{
+			"name": name, "source": "upload", "dims": ds.Dims(), "points": ds.Len(),
+		})
+	default:
+		s.fail(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q", ct)
+	}
+}
+
+func (s *Server) registerFail(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	if errors.Is(err, ErrExists) {
+		code = http.StatusConflict
+	}
+	s.fail(w, code, "%v", err)
+}
+
+func (s *Server) handleRemoveDataset(w http.ResponseWriter, r *http.Request) {
+	s.rec.Counter(CtrRequests).Inc()
+	if err := s.reg.Remove(r.PathValue("name")); err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- pipeline endpoints ----
+
+// estParams is the canonical estimator identity inside cache keys.
+type estParams struct {
+	Kernels int    `json:"kernels"`
+	Kernel  string `json:"kernel"`
+	Seed    uint64 `json:"seed"`
+}
+
+func (p *estParams) normalize() error {
+	if p.Kernels == 0 {
+		p.Kernels = kde.DefaultNumKernels
+	}
+	if p.Kernels < 1 {
+		return errors.New("kernels must be positive")
+	}
+	if p.Kernel == "" {
+		p.Kernel = "epanechnikov"
+	}
+	if kde.KernelByName(p.Kernel) == nil {
+		return fmt.Errorf("unknown kernel %q", p.Kernel)
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return nil
+}
+
+func (p estParams) key(fp uint64) string {
+	return fmt.Sprintf("est|fp=%016x|ks=%d|kern=%s|seed=%d", fp, p.Kernels, p.Kernel, p.Seed)
+}
+
+// seedStreams derives the per-stage RNGs from the request seed. Each stage
+// owns an independent stream, so a cache hit at the estimator layer leaves
+// the draw's randomness — and therefore the response bytes — unchanged.
+func seedStreams(seed uint64) (estRNG, drawRNG *stats.RNG) {
+	st := stats.NewRNG(seed).Splits(2)
+	return st[0], st[1]
+}
+
+// estimator returns the cached KDE estimator for (dataset, params, seed),
+// building it on miss. Cached estimators hold the server-level recorder
+// (attached once at build — a shared artifact must not point at any single
+// request's recorder), so their kernel-evaluation counters aggregate
+// across requests.
+func (s *Server) estimator(ctx context.Context, rec *obs.Recorder, h *Handle, p estParams) (*kde.Estimator, bool, error) {
+	fp, err := h.Fingerprint()
+	if err != nil {
+		return nil, false, err
+	}
+	v, hit, err := s.cache.GetOrBuild(p.key(fp), func() (any, int64, error) {
+		s.rec.Counter(CtrKDEBuilds).Inc()
+		estRNG, _ := seedStreams(p.Seed)
+		est, berr := kde.Build(h.Dataset(), kde.Options{
+			NumKernels:  p.Kernels,
+			Kernel:      kde.KernelByName(p.Kernel),
+			Parallelism: s.cfg.Parallelism,
+			Ctx:         ctx,
+			Obs:         rec,
+		}, estRNG)
+		if berr != nil {
+			return nil, 0, berr
+		}
+		est.SetRecorder(s.rec)
+		return est, estimatorBytes(est), nil
+	})
+	s.syncCacheCounters()
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*kde.Estimator), hit, nil
+}
+
+// estimatorBytes approximates an estimator's resident size for the cache
+// accounting: centers, bandwidth vectors, kd-tree nodes, and scales.
+func estimatorBytes(est *kde.Estimator) int64 {
+	ks, d := int64(est.NumKernels()), int64(est.Dims())
+	return ks*d*8 + ks*48 + d*16 + 512
+}
+
+func sampleBytes(sm *core.Sample) int64 {
+	if len(sm.Points) == 0 {
+		return 256
+	}
+	d := int64(len(sm.Points[0].P))
+	return int64(len(sm.Points))*(d*8+56) + 256
+}
+
+type sampleRequest struct {
+	Dataset string  `json:"dataset"`
+	Alpha   float64 `json:"alpha"`
+	Size    int     `json:"size"`
+	OnePass bool    `json:"one_pass,omitempty"`
+	Kernels int     `json:"kernels,omitempty"`
+	Kernel  string  `json:"kernel,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+}
+
+func (q *sampleRequest) normalize() (estParams, error) {
+	if q.Dataset == "" {
+		return estParams{}, errors.New("missing dataset")
+	}
+	if q.Size <= 0 {
+		return estParams{}, errors.New("size must be positive")
+	}
+	p := estParams{Kernels: q.Kernels, Kernel: q.Kernel, Seed: q.Seed}
+	if err := p.normalize(); err != nil {
+		return estParams{}, err
+	}
+	q.Kernels, q.Kernel, q.Seed = p.Kernels, p.Kernel, p.Seed
+	return p, nil
+}
+
+func (q sampleRequest) key(fp uint64, p estParams) string {
+	return fmt.Sprintf("smp|%s|alpha=%s|b=%d|onepass=%t",
+		p.key(fp), hexFloat(q.Alpha), q.Size, q.OnePass)
+}
+
+// drawSample returns the cached sample artifact for the request, running
+// the pipeline (estimator + pass 1/2) on miss. On a hit no dataset pass
+// runs at all.
+func (s *Server) drawSample(ctx context.Context, rec *obs.Recorder, h *Handle, q sampleRequest, p estParams) (*core.Sample, bool, error) {
+	fp, err := h.Fingerprint()
+	if err != nil {
+		return nil, false, err
+	}
+	v, hit, err := s.cache.GetOrBuild(q.key(fp, p), func() (any, int64, error) {
+		est, _, eerr := s.estimator(ctx, rec, h, p)
+		if eerr != nil {
+			return nil, 0, eerr
+		}
+		_, drawRNG := seedStreams(p.Seed)
+		sm, derr := core.Draw(h.Dataset(), est, core.Options{
+			Alpha:       q.Alpha,
+			TargetSize:  q.Size,
+			OnePass:     q.OnePass,
+			Parallelism: s.cfg.Parallelism,
+			Ctx:         ctx,
+			Obs:         rec,
+		}, drawRNG)
+		if derr != nil {
+			return nil, 0, derr
+		}
+		return sm, sampleBytes(sm), nil
+	})
+	s.syncCacheCounters()
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*core.Sample), hit, nil
+}
+
+type samplePoint struct {
+	P geom.Point `json:"p"`
+	W float64    `json:"w"`
+}
+
+type sampleResponse struct {
+	Dataset     string        `json:"dataset"`
+	Fingerprint string        `json:"fingerprint"`
+	Alpha       float64       `json:"alpha"`
+	Norm        float64       `json:"norm"`
+	DataPasses  int           `json:"data_passes"`
+	Saturated   int           `json:"saturated"`
+	Count       int           `json:"count"`
+	Points      []samplePoint `json:"points"`
+}
+
+func (s *Server) handleSample(ctx context.Context, rec *obs.Recorder, w http.ResponseWriter, r *http.Request) {
+	var req sampleRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	p, err := req.normalize()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	h, err := s.reg.Acquire(req.Dataset)
+	if err != nil {
+		s.acquireFail(w, err)
+		return
+	}
+	defer h.Release()
+
+	sm, hit, err := s.drawSample(ctx, rec, h, req, p)
+	if err != nil {
+		s.pipelineFail(w, err)
+		return
+	}
+	fp, _ := h.Fingerprint()
+	pts := make([]samplePoint, len(sm.Points))
+	for i, wp := range sm.Points {
+		pts[i] = samplePoint{P: wp.P, W: wp.W}
+	}
+	markCache(w, hit)
+	writeJSON(w, http.StatusOK, sampleResponse{
+		Dataset:     req.Dataset,
+		Fingerprint: fmt.Sprintf("%016x", fp),
+		Alpha:       req.Alpha,
+		Norm:        sm.Norm,
+		DataPasses:  sm.DataPasses,
+		Saturated:   sm.Saturated,
+		Count:       len(pts),
+		Points:      pts,
+	})
+}
+
+func (s *Server) acquireFail(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrNotFound) {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+}
+
+type clusterRequest struct {
+	Dataset   string  `json:"dataset"`
+	K         int     `json:"k"`
+	Alpha     float64 `json:"alpha"`
+	Size      int     `json:"size"`
+	OnePass   bool    `json:"one_pass,omitempty"`
+	Kernels   int     `json:"kernels,omitempty"`
+	Kernel    string  `json:"kernel,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+	NumReps   int     `json:"num_reps,omitempty"`
+	Shrink    float64 `json:"shrink,omitempty"`
+	NoiseTrim bool    `json:"noise_trim,omitempty"`
+}
+
+type clusterInfo struct {
+	Size int          `json:"size"`
+	Mean geom.Point   `json:"mean"`
+	Reps []geom.Point `json:"reps"`
+}
+
+type clusterResponse struct {
+	Dataset     string        `json:"dataset"`
+	Fingerprint string        `json:"fingerprint"`
+	K           int           `json:"k"`
+	SampleSize  int           `json:"sample_size"`
+	Clusters    []clusterInfo `json:"clusters"`
+}
+
+func (s *Server) handleCluster(ctx context.Context, rec *obs.Recorder, w http.ResponseWriter, r *http.Request) {
+	var req clusterRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.K <= 0 {
+		s.fail(w, http.StatusBadRequest, "k must be positive")
+		return
+	}
+	sq := sampleRequest{Dataset: req.Dataset, Alpha: req.Alpha, Size: req.Size,
+		OnePass: req.OnePass, Kernels: req.Kernels, Kernel: req.Kernel, Seed: req.Seed}
+	p, err := sq.normalize()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	h, err := s.reg.Acquire(req.Dataset)
+	if err != nil {
+		s.acquireFail(w, err)
+		return
+	}
+	defer h.Release()
+
+	// The sample artifact is shared with /v1/sample: a prior sample
+	// request (same params, seed) warms this endpoint and vice versa.
+	sm, hit, err := s.drawSample(ctx, rec, h, sq, p)
+	if err != nil {
+		s.pipelineFail(w, err)
+		return
+	}
+	pts := sm.PlainPoints()
+	opts := cure.Options{
+		K: req.K, NumReps: req.NumReps, Shrink: req.Shrink,
+		Parallelism: s.cfg.Parallelism, Ctx: ctx, Obs: rec,
+	}
+	if req.NoiseTrim {
+		opts.TrimAt, opts.TrimMinSize, opts.FinalTrimAt, opts.FinalTrimMinSize =
+			cure.NoiseTrimSizing(len(pts), req.K, 500)
+	}
+	clusters, err := cure.Run(pts, opts)
+	if err != nil {
+		s.pipelineFail(w, err)
+		return
+	}
+	fp, _ := h.Fingerprint()
+	infos := make([]clusterInfo, len(clusters))
+	for i, c := range clusters {
+		infos[i] = clusterInfo{Size: c.Size(), Mean: c.Mean, Reps: c.Reps}
+	}
+	markCache(w, hit)
+	writeJSON(w, http.StatusOK, clusterResponse{
+		Dataset:     req.Dataset,
+		Fingerprint: fmt.Sprintf("%016x", fp),
+		K:           req.K,
+		SampleSize:  len(pts),
+		Clusters:    infos,
+	})
+}
+
+type outlierRequest struct {
+	Dataset string  `json:"dataset"`
+	Radius  float64 `json:"radius"`
+	P       int     `json:"p"`
+	Frac    float64 `json:"frac,omitempty"`
+	Method  string  `json:"method,omitempty"` // approx (default) | estimate
+	Factor  float64 `json:"factor,omitempty"`
+	Kernels int     `json:"kernels,omitempty"`
+	Kernel  string  `json:"kernel,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+}
+
+type outlierResponse struct {
+	Dataset     string       `json:"dataset"`
+	Fingerprint string       `json:"fingerprint"`
+	Method      string       `json:"method"`
+	Radius      float64      `json:"radius"`
+	P           int          `json:"p"`
+	Count       int          `json:"count"`
+	Candidates  int          `json:"candidates,omitempty"`
+	DataPasses  int          `json:"data_passes,omitempty"`
+	Outliers    []geom.Point `json:"outliers,omitempty"`
+}
+
+func (s *Server) handleOutliers(ctx context.Context, rec *obs.Recorder, w http.ResponseWriter, r *http.Request) {
+	var req outlierRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Method == "" {
+		req.Method = "approx"
+	}
+	if req.Method != "approx" && req.Method != "estimate" {
+		s.fail(w, http.StatusBadRequest, "unknown method %q (approx|estimate)", req.Method)
+		return
+	}
+	if req.Dataset == "" {
+		s.fail(w, http.StatusBadRequest, "missing dataset")
+		return
+	}
+	p := estParams{Kernels: req.Kernels, Kernel: req.Kernel, Seed: req.Seed}
+	if err := p.normalize(); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	h, err := s.reg.Acquire(req.Dataset)
+	if err != nil {
+		s.acquireFail(w, err)
+		return
+	}
+	defer h.Release()
+
+	prm := outlier.Params{K: req.Radius, P: req.P}
+	if req.Frac > 0 {
+		prm = outlier.FromFraction(req.Radius, req.Frac, h.Dataset().Len())
+	}
+	prm.Parallelism = s.cfg.Parallelism
+	prm.Ctx = ctx
+	prm.Obs = rec
+
+	est, hit, err := s.estimator(ctx, rec, h, p)
+	if err != nil {
+		s.pipelineFail(w, err)
+		return
+	}
+	fp, _ := h.Fingerprint()
+	resp := outlierResponse{
+		Dataset:     req.Dataset,
+		Fingerprint: fmt.Sprintf("%016x", fp),
+		Method:      req.Method,
+		Radius:      prm.K,
+		P:           prm.P,
+	}
+	switch req.Method {
+	case "approx":
+		res, aerr := outlier.Approximate(h.Dataset(), est, prm, outlier.ApproxOptions{CandidateFactor: req.Factor})
+		if aerr != nil {
+			s.pipelineFail(w, aerr)
+			return
+		}
+		resp.Count = len(res.Outliers)
+		resp.Candidates = res.NumCandidates
+		resp.DataPasses = res.DataPasses
+		resp.Outliers = res.Outliers
+	case "estimate":
+		n, eerr := outlier.EstimateCount(h.Dataset(), est, prm)
+		if eerr != nil {
+			s.pipelineFail(w, eerr)
+			return
+		}
+		resp.Count = n
+	}
+	markCache(w, hit)
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,252 @@
+// Package server is the HTTP serving layer over the sampling pipeline: a
+// dataset registry of named handles, an LRU artifact cache that lets repeat
+// queries skip estimator construction and sampling passes, and an admission
+// controller that bounds concurrent work and sheds load. Everything is
+// stdlib-only, like the rest of the repository.
+//
+// The layer adds no randomness and no floating-point work of its own, so
+// the serving guarantee mirrors the library's: a response is a function of
+// (dataset fingerprint, canonicalized parameters, seed) alone — bit
+// identical whether it was computed or served from cache, at any worker
+// count (see DESIGN.md, "Serving layer").
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// ErrNotFound is returned when a request names an unregistered dataset.
+var ErrNotFound = errors.New("server: dataset not found")
+
+// ErrExists is returned when a registration reuses a live name.
+var ErrExists = errors.New("server: dataset name already registered")
+
+// Registry is the server's table of named datasets. Registration is cheap:
+// a path-backed entry stores only the path and is opened (header validated)
+// on first Acquire; an uploaded entry wraps the already-materialized
+// points. Handles are ref-counted so removal is safe while requests are in
+// flight: Remove unregisters the name immediately but the backing dataset
+// stays usable until the last holder releases it.
+type Registry struct {
+	parallelism int
+
+	mu      sync.Mutex
+	entries map[string]*regEntry
+}
+
+type regEntry struct {
+	name string
+	path string          // lazy file-backed source; "" when mem is set
+	mem  dataset.Dataset // uploaded data, ready to scan
+
+	refs    int  // live Acquires, guarded by Registry.mu
+	removed bool // unregistered; dropped when refs reaches 0
+
+	// openMu guards lazy open and the cached fingerprint; it is separate
+	// from Registry.mu so a slow first open or fingerprint pass never
+	// blocks registry operations on other datasets.
+	openMu sync.Mutex
+	ds     dataset.Dataset
+	fp     uint64
+	fpDone bool
+}
+
+// NewRegistry returns an empty registry. parallelism bounds the workers
+// used for fingerprint passes (0 = all CPUs).
+func NewRegistry(parallelism int) *Registry {
+	return &Registry{parallelism: parallelism, entries: make(map[string]*regEntry)}
+}
+
+// RegisterPath registers name over a binary dataset file. The file must
+// exist, but its header is only read on first Acquire (lazy open).
+func (r *Registry) RegisterPath(name, path string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if _, err := os.Stat(path); err != nil {
+		return fmt.Errorf("server: dataset %q: %w", name, err)
+	}
+	return r.add(&regEntry{name: name, path: path})
+}
+
+// RegisterDataset registers name over an already-materialized dataset
+// (an upload).
+func (r *Registry) RegisterDataset(name string, ds dataset.Dataset) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if ds == nil || ds.Len() == 0 {
+		return fmt.Errorf("server: dataset %q: empty", name)
+	}
+	return r.add(&regEntry{name: name, mem: ds, ds: ds})
+}
+
+func validName(name string) error {
+	if name == "" {
+		return errors.New("server: empty dataset name")
+	}
+	return nil
+}
+
+func (r *Registry) add(e *regEntry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[e.name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, e.name)
+	}
+	r.entries[e.name] = e
+	return nil
+}
+
+// Handle is a ref-counted lease on a registered dataset. Release it when
+// the request is done; the dataset and its cached fingerprint stay valid
+// for the handle's lifetime even if the name is removed concurrently.
+type Handle struct {
+	r *Registry
+	e *regEntry
+}
+
+// Acquire resolves name, lazily opening path-backed entries, and returns a
+// leased handle.
+func (r *Registry) Acquire(name string) (*Handle, error) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok || e.removed {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.refs++
+	r.mu.Unlock()
+
+	e.openMu.Lock()
+	if e.ds == nil {
+		ds, err := dataset.OpenFile(e.path)
+		if err != nil {
+			e.openMu.Unlock()
+			r.release(e)
+			return nil, err
+		}
+		e.ds = ds
+	}
+	e.openMu.Unlock()
+	return &Handle{r: r, e: e}, nil
+}
+
+// Dataset returns the leased dataset.
+func (h *Handle) Dataset() dataset.Dataset { return h.e.ds }
+
+// Name returns the registered name.
+func (h *Handle) Name() string { return h.e.name }
+
+// Fingerprint returns the dataset's content fingerprint, computing it on
+// first use (one dataset pass) and caching it for the entry's lifetime.
+func (h *Handle) Fingerprint() (uint64, error) {
+	e := h.e
+	e.openMu.Lock()
+	defer e.openMu.Unlock()
+	if !e.fpDone {
+		fp, err := dataset.Fingerprint(e.ds, h.r.parallelism)
+		if err != nil {
+			return 0, err
+		}
+		e.fp, e.fpDone = fp, true
+	}
+	return e.fp, nil
+}
+
+// Release returns the lease. The handle must not be used afterwards.
+func (h *Handle) Release() { h.r.release(h.e) }
+
+func (r *Registry) release(e *regEntry) {
+	r.mu.Lock()
+	e.refs--
+	if e.removed && e.refs == 0 {
+		// The map may already hold a new entry under this name; only
+		// delete if it is still ours.
+		if cur, ok := r.entries[e.name]; ok && cur == e {
+			delete(r.entries, e.name)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Remove unregisters name. In-flight holders keep their handles; the entry
+// is dropped when the last one releases.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok || e.removed {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.removed = true
+	if e.refs == 0 {
+		delete(r.entries, name)
+	}
+	return nil
+}
+
+// DatasetInfo describes one registered dataset for listings.
+type DatasetInfo struct {
+	Name   string `json:"name"`
+	Source string `json:"source"` // "file" or "upload"
+	Open   bool   `json:"open"`
+	// Dims and Points are known once the dataset has been opened.
+	Dims   int `json:"dims,omitempty"`
+	Points int `json:"points,omitempty"`
+	// Fingerprint is the hex content fingerprint, once computed.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// List returns the live registrations sorted by name. It reports state and
+// never triggers opens or fingerprint passes.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.Lock()
+	entries := make([]*regEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		if !e.removed {
+			entries = append(entries, e)
+		}
+	}
+	r.mu.Unlock()
+
+	infos := make([]DatasetInfo, 0, len(entries))
+	for _, e := range entries {
+		info := DatasetInfo{Name: e.name, Source: "file"}
+		if e.mem != nil {
+			info.Source = "upload"
+		}
+		e.openMu.Lock()
+		if e.ds != nil {
+			info.Open = true
+			info.Dims = e.ds.Dims()
+			info.Points = e.ds.Len()
+		}
+		if e.fpDone {
+			info.Fingerprint = fmt.Sprintf("%016x", e.fp)
+		}
+		e.openMu.Unlock()
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Len returns the number of live registrations.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.entries {
+		if !e.removed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// Server-level counter and gauge names, joining the catalogue in
+// internal/obs. Exposed at /metrics in Prometheus text format.
+const (
+	CtrRequests   = "server_requests_total"
+	CtrErrors     = "server_request_errors_total"
+	CtrShed       = "server_requests_shed_total"
+	CtrCacheHit   = "server_cache_hits_total"
+	CtrCacheMiss  = "server_cache_misses_total"
+	CtrCacheEvict = "server_cache_evictions_total"
+	CtrKDEBuilds  = "server_kde_builds_total"
+
+	GaugeInFlight   = "server_in_flight"
+	GaugeCacheBytes = "server_cache_bytes"
+)
+
+// Config sizes the serving layer. The zero value is usable: all-CPU
+// parallelism, a 256 MiB artifact cache, in-flight admission matched to
+// the core count, and a 30-second request deadline.
+type Config struct {
+	// Parallelism bounds the scan workers each admitted request may use
+	// (0 = all CPUs). Results never depend on it.
+	Parallelism int
+	// CacheBytes is the artifact cache budget (default 256 MiB; negative
+	// disables caching).
+	CacheBytes int64
+	// MaxInFlight bounds concurrently executing pipeline requests
+	// (default: the effective parallelism degree, so one request's scan
+	// workers fill the machine before a second is admitted).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot
+	// (default 2 × MaxInFlight; negative means no queue — reject the
+	// moment the in-flight limit is hit). Beyond it requests are shed
+	// with 429.
+	MaxQueue int
+	// Deadline is the per-request time budget (default 30s). It bounds
+	// both queue wait and pipeline execution via the request context.
+	Deadline time.Duration
+	// Rec receives the server's counters and gauges, plus every
+	// request's rolled-up pipeline counters. A fresh Recorder is created
+	// when nil.
+	Rec *obs.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.CacheBytes < 0 {
+		c.CacheBytes = 0
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = parallel.Degree(c.Parallelism)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 30 * time.Second
+	}
+	if c.Rec == nil {
+		c.Rec = obs.New()
+	}
+	return c
+}
+
+// Server ties the registry, cache, and admission controller to the HTTP
+// API. Create with New, expose with Handler.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	cache *Cache
+	adm   *Admission
+	rec   *obs.Recorder
+	mux   *http.ServeMux
+
+	latMu sync.Mutex
+	lat   map[string]*latRing
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   NewRegistry(cfg.Parallelism),
+		cache: NewCache(cfg.CacheBytes),
+		adm:   NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		rec:   cfg.Rec,
+		mux:   http.NewServeMux(),
+		lat:   make(map[string]*latRing),
+	}
+	s.routes()
+	return s
+}
+
+// Handler returns the full API: the /v1 endpoints, /healthz, and the
+// observability surface (/metrics, /debug/pprof) on one mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the dataset registry, e.g. for pre-registering
+// datasets from the command line before serving.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Recorder returns the server-level recorder (for tests and embedding).
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// StartDraining begins a graceful drain: /healthz flips to "draining" and
+// new compute requests are rejected with 503 while admitted ones finish.
+// Pair it with http.Server.Shutdown, which waits for in-flight handlers.
+func (s *Server) StartDraining() { s.adm.StartDraining() }
+
+// latRing keeps the last ringSize request latencies per route; /healthz
+// reports p50/p99 over the window via stats.Quantile.
+const ringSize = 512
+
+type latRing struct {
+	mu   sync.Mutex
+	buf  [ringSize]float64
+	n    int // total observations (saturates accounting at ringSize)
+	next int
+}
+
+func (r *latRing) add(ms float64) {
+	r.mu.Lock()
+	r.buf[r.next] = ms
+	r.next = (r.next + 1) % ringSize
+	if r.n < ringSize {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+func (r *latRing) snapshot() []float64 {
+	r.mu.Lock()
+	out := append([]float64(nil), r.buf[:r.n]...)
+	r.mu.Unlock()
+	return out
+}
+
+func (s *Server) latFor(route string) *latRing {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	lr := s.lat[route]
+	if lr == nil {
+		lr = &latRing{}
+		s.lat[route] = lr
+	}
+	return lr
+}
+
+// LatencySummary is the /healthz per-route latency digest.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+func (s *Server) latencySummaries() map[string]LatencySummary {
+	s.latMu.Lock()
+	routes := make([]string, 0, len(s.lat))
+	for route := range s.lat {
+		routes = append(routes, route)
+	}
+	s.latMu.Unlock()
+	sort.Strings(routes)
+
+	out := make(map[string]LatencySummary, len(routes))
+	for _, route := range routes {
+		xs := s.latFor(route).snapshot()
+		if len(xs) == 0 {
+			continue
+		}
+		out[route] = LatencySummary{
+			Count: len(xs),
+			P50ms: stats.Quantile(xs, 0.50),
+			P99ms: stats.Quantile(xs, 0.99),
+		}
+	}
+	return out
+}
+
+// observe records a finished request into the route's latency ring and
+// the server counters/gauges.
+func (s *Server) observe(route string, start time.Time) {
+	s.latFor(route).add(float64(time.Since(start)) / float64(time.Millisecond))
+	s.syncGauges()
+}
+
+func (s *Server) syncGauges() {
+	s.rec.Gauge(GaugeInFlight).Set(float64(s.adm.InFlight()))
+	s.rec.Gauge(GaugeCacheBytes).Set(float64(s.cache.Stats().Bytes))
+}
+
+// syncCacheCounters mirrors the cache's internal tallies into the
+// recorder so /metrics carries them; called after each cache interaction.
+func (s *Server) syncCacheCounters() {
+	st := s.cache.Stats()
+	setCounter(s.rec.Counter(CtrCacheHit), st.Hits)
+	setCounter(s.rec.Counter(CtrCacheMiss), st.Misses)
+	setCounter(s.rec.Counter(CtrCacheEvict), st.Evictions)
+	s.rec.Gauge(GaugeCacheBytes).Set(float64(st.Bytes))
+}
+
+// setCounter raises c to total (counters are monotonic; the cache is the
+// source of truth, the recorder the exposition).
+func setCounter(c *obs.Counter, total int64) {
+	if d := total - c.Value(); d > 0 {
+		c.Add(d)
+	}
+}

@@ -3,7 +3,8 @@
 # pass before a change lands: formatting, static checks, a full build, the
 # complete test suite, the race detector over the packages that run
 # concurrent code (the parallel execution layer, its two biggest consumers,
-# and the observability layer's shared Recorder), and the observability
+# and the observability layer's shared Recorder, plus the serving layer's
+# registry/cache/admission), and the observability
 # overhead guard (OBS_GUARD gates the timing assertion; see
 # obs_guard_test.go and BENCH_obs.json for the budget).
 set -eux
@@ -12,5 +13,5 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/...
+go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/... ./internal/server/...
 OBS_GUARD=1 go test -run TestObsOverheadGuard .
