@@ -40,6 +40,9 @@ func main() {
 		deadline   = flag.Duration("deadline", 30*time.Second, "per-request deadline")
 		par        = flag.Int("p", 0, "scan worker parallelism per request: 0 = all CPUs, 1 = serial (same results either way)")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+		retry      = flag.Int("retry", 2, "retries per build stage on transient dataset I/O failures (0 disables)")
+		stageWait  = flag.Duration("stage-timeout", 0, "per-attempt build stage timeout; blown stages retry under -retry (0 = request deadline only)")
+		staleOK    = flag.Bool("stale-ok", false, "serve stale cached artifacts (X-DBS-Cache: stale) when a rebuild fails")
 	)
 	flag.Parse()
 
@@ -48,12 +51,15 @@ func main() {
 		cache = -1 // Config treats negative as disabled, zero as default.
 	}
 	srv := server.New(server.Config{
-		Parallelism: *par,
-		CacheBytes:  cache,
-		MaxInFlight: *maxInFl,
-		MaxQueue:    *maxQueue,
-		Deadline:    *deadline,
-		Rec:         obs.New(),
+		Parallelism:  *par,
+		CacheBytes:   cache,
+		MaxInFlight:  *maxInFl,
+		MaxQueue:     *maxQueue,
+		Deadline:     *deadline,
+		Retry:        *retry,
+		StageTimeout: *stageWait,
+		StaleOK:      *staleOK,
+		Rec:          obs.New(),
 	})
 
 	for _, arg := range flag.Args() {

@@ -33,12 +33,17 @@ type RangeScanner interface {
 	ScanRange(start, end int, fn func(p geom.Point) error) error
 }
 
-// passCounter lets ScanBlocks charge exactly one logical pass to the
-// dataset types that track passes.
-type passCounter interface{ addPass() }
+// PassCounter lets ScanBlocks charge exactly one logical pass to the
+// dataset types that track passes. It is exported so wrappers (fault
+// injectors, instrumentation) can delegate the charge to the dataset
+// they wrap instead of losing the bookkeeping.
+type PassCounter interface{ AddPass() }
 
-func (m *InMemory) addPass()    { m.passes.Add(1) }
-func (fb *FileBacked) addPass() { fb.passes.Add(1) }
+// AddPass charges one logical dataset pass.
+func (m *InMemory) AddPass() { m.passes.Add(1) }
+
+// AddPass charges one logical dataset pass.
+func (fb *FileBacked) AddPass() { fb.passes.Add(1) }
 
 // ScanRange implements RangeScanner over the backing slice.
 func (m *InMemory) ScanRange(start, end int, fn func(p geom.Point) error) error {
@@ -180,8 +185,8 @@ type ScanConfig struct {
 // ScanBlocksCfg is ScanBlocks with observability and progress reporting.
 func ScanBlocksCfg(ds Dataset, cfg ScanConfig, fn func(block, start int, pts []geom.Point) error) error {
 	n := ds.Len()
-	if pc, ok := ds.(passCounter); ok {
-		pc.addPass()
+	if pc, ok := ds.(PassCounter); ok {
+		pc.AddPass()
 	}
 	blockSize := parallel.BlockSize(cfg.BlockSize)
 	parallelism := cfg.Parallelism

@@ -1,0 +1,93 @@
+package faults
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// errCut is the private stop used to end a partial scan; it is mapped to
+// an *InjectedError before leaving the wrapper, so a truncated scan is
+// always a loud failure, never a quietly short result.
+var errCut = errors.New("faults: partial cut")
+
+// Wrap returns ds with fault injection at every scan entry point. Each
+// Scan or ScanRange call draws one decision from p. If ds implements
+// dataset.RangeScanner the wrapper does too, so the parallel block-scan
+// fast path stays exercised — with per-range injection. Pass bookkeeping
+// is delegated to ds. A nil Point returns ds unchanged.
+func Wrap(ds dataset.Dataset, p *Point) dataset.Dataset {
+	if p == nil {
+		return ds
+	}
+	fd := faultyDataset{ds: ds, p: p}
+	if rs, ok := ds.(dataset.RangeScanner); ok {
+		return &faultyRange{faultyDataset: fd, rs: rs}
+	}
+	return &fd
+}
+
+type faultyDataset struct {
+	ds dataset.Dataset
+	p  *Point
+}
+
+func (f *faultyDataset) Len() int    { return f.ds.Len() }
+func (f *faultyDataset) Dims() int   { return f.ds.Dims() }
+func (f *faultyDataset) Passes() int { return f.ds.Passes() }
+
+// AddPass delegates the logical-pass charge to the wrapped dataset, so
+// ScanBlocks accounting is unchanged by injection.
+func (f *faultyDataset) AddPass() {
+	if pc, ok := f.ds.(dataset.PassCounter); ok {
+		pc.AddPass()
+	}
+}
+
+func (f *faultyDataset) Scan(fn func(p geom.Point) error) error {
+	return f.scanFault(f.ds.Len(), fn, func(inner func(geom.Point) error) error {
+		return f.ds.Scan(inner)
+	})
+}
+
+// scanFault draws one decision and applies it to a scan of n points.
+// run executes the underlying scan with a (possibly cutting) callback.
+func (f *faultyDataset) scanFault(n int, fn func(geom.Point) error, run func(func(geom.Point) error) error) error {
+	kind, aux, op := f.p.next()
+	switch kind {
+	case KindError, KindCancel:
+		return f.p.errAt(kind, op)
+	case KindDelay:
+		time.Sleep(f.p.delay(aux))
+		return run(fn)
+	case KindPartial:
+		cut := int(frac(aux) * float64(n))
+		seen := 0
+		err := run(func(pt geom.Point) error {
+			if seen >= cut {
+				return errCut
+			}
+			seen++
+			return fn(pt)
+		})
+		if errors.Is(err, errCut) {
+			return f.p.errAt(KindPartial, op)
+		}
+		return err
+	default:
+		return run(fn)
+	}
+}
+
+type faultyRange struct {
+	faultyDataset
+	rs dataset.RangeScanner
+}
+
+func (f *faultyRange) ScanRange(start, end int, fn func(p geom.Point) error) error {
+	return f.scanFault(end-start, fn, func(inner func(geom.Point) error) error {
+		return f.rs.ScanRange(start, end, inner)
+	})
+}

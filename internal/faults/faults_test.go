@@ -1,0 +1,231 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+func testData(t *testing.T, n int) *dataset.InMemory {
+	t.Helper()
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{float64(i), float64(2 * i)}
+	}
+	ds, err := dataset.NewInMemory(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func drawKinds(seed uint64, site string, n int) []Kind {
+	in := New(Config{Seed: seed, PError: 0.2, PDelay: 0.2, PPartial: 0.2, PCancel: 0.1})
+	p := in.Point(site)
+	out := make([]Kind, n)
+	for i := range out {
+		k, _, _ := p.next()
+		out[i] = k
+	}
+	return out
+}
+
+func TestScheduleDeterministicPerSeed(t *testing.T) {
+	a := drawKinds(42, "scan", 200)
+	b := drawKinds(42, "scan", 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: %v vs %v — schedule not reproducible", i, a[i], b[i])
+		}
+	}
+	c := drawKinds(43, "scan", 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 drew identical 200-op schedules")
+	}
+}
+
+func TestSitesDrawIndependentSchedules(t *testing.T) {
+	a := drawKinds(7, "scan", 200)
+	b := drawKinds(7, "build", 200)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("sites scan and build drew identical 200-op schedules")
+	}
+}
+
+func TestSkipExemptsEarlyOps(t *testing.T) {
+	in := New(Config{Seed: 1, PError: 1, Skip: 5})
+	p := in.Point("s")
+	for i := 0; i < 5; i++ {
+		if err := p.Check(context.Background()); err != nil {
+			t.Fatalf("op %d within Skip failed: %v", i, err)
+		}
+	}
+	if err := p.Check(context.Background()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op past Skip: err = %v, want ErrInjected", err)
+	}
+	if got := in.Injected(); got != 1 {
+		t.Errorf("injected = %d, want 1", got)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	p := in.Point("anything")
+	if p != nil {
+		t.Fatal("nil injector returned a non-nil point")
+	}
+	if err := p.Check(context.Background()); err != nil {
+		t.Fatalf("nil point Check: %v", err)
+	}
+	ds := testData(t, 10)
+	if got := Wrap(ds, nil); got != dataset.Dataset(ds) {
+		t.Error("Wrap with nil point did not return the dataset unchanged")
+	}
+	if in.Injected() != 0 {
+		t.Error("nil injector counted injections")
+	}
+}
+
+func TestInjectedErrorClassification(t *testing.T) {
+	perr := (&Point{site: "s"}).errAt(KindError, 3)
+	if !errors.Is(perr, ErrInjected) {
+		t.Error("KindError does not match ErrInjected")
+	}
+	var te interface{ Temporary() bool }
+	if !errors.As(perr, &te) || !te.Temporary() {
+		t.Error("KindError is not Temporary")
+	}
+	if errors.Is(perr, parallel.ErrCanceled) {
+		t.Error("KindError matches ErrCanceled")
+	}
+	cerr := (&Point{site: "s"}).errAt(KindCancel, 4)
+	if !errors.Is(cerr, parallel.ErrCanceled) || !errors.Is(cerr, ErrInjected) {
+		t.Errorf("KindCancel err = %v, want to match both ErrCanceled and ErrInjected", cerr)
+	}
+}
+
+func TestWrapKeepsRangeScannerAndPasses(t *testing.T) {
+	ds := testData(t, 100)
+	w := Wrap(ds, New(Config{Seed: 1}).Point("scan"))
+	if _, ok := w.(dataset.RangeScanner); !ok {
+		t.Fatal("wrapped InMemory lost the RangeScanner fast path")
+	}
+	if w.Len() != 100 || w.Dims() != 2 {
+		t.Fatalf("len/dims = %d/%d, want 100/2", w.Len(), w.Dims())
+	}
+	// A fault-free block scan behaves exactly like the unwrapped one,
+	// and the pass charge lands on the wrapped dataset.
+	var n int
+	err := dataset.ScanBlocks(w, 32, 1, func(block, start int, pts []geom.Point) error {
+		n += len(pts)
+		return nil
+	})
+	if err != nil || n != 100 {
+		t.Fatalf("block scan: n = %d err = %v, want 100, nil", n, err)
+	}
+	if ds.Passes() != 1 {
+		t.Errorf("underlying passes = %d, want 1", ds.Passes())
+	}
+}
+
+// TestPartialScanNeverSilent drives scans under a partial-heavy schedule
+// and checks the contract: a scan either delivers every point and
+// returns nil, or returns an injected error — a short scan with a nil
+// error would silently corrupt downstream results.
+func TestPartialScanNeverSilent(t *testing.T) {
+	const n = 64
+	ds := testData(t, n)
+	w := Wrap(ds, New(Config{Seed: 9, PPartial: 0.8}).Point("scan"))
+	sawPartial := false
+	for i := 0; i < 50; i++ {
+		seen := 0
+		err := w.Scan(func(geom.Point) error { seen++; return nil })
+		switch {
+		case err == nil:
+			if seen != n {
+				t.Fatalf("iter %d: nil error with %d/%d points — silent truncation", i, seen, n)
+			}
+		case errors.Is(err, ErrInjected):
+			if seen >= n {
+				t.Fatalf("iter %d: full scan but injected error", i)
+			}
+			sawPartial = true
+		default:
+			t.Fatalf("iter %d: unexpected error %v", i, err)
+		}
+	}
+	if !sawPartial {
+		t.Error("0.8 partial probability never fired in 50 scans")
+	}
+}
+
+func TestScanRangeInjection(t *testing.T) {
+	const n = 100
+	w := Wrap(testData(t, n), New(Config{Seed: 3, PError: 0.5}).Point("scan")).(dataset.RangeScanner)
+	failed := 0
+	for i := 0; i < 40; i++ {
+		seen := 0
+		err := w.ScanRange(10, 60, func(geom.Point) error { seen++; return nil })
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("iter %d: unexpected error %v", i, err)
+			}
+			failed++
+			continue
+		}
+		if seen != 50 {
+			t.Fatalf("iter %d: clean range scan saw %d points, want 50", i, seen)
+		}
+	}
+	if failed == 0 {
+		t.Error("0.5 error probability never fired in 40 range scans")
+	}
+}
+
+func TestCheckDelayHonorsContext(t *testing.T) {
+	in := New(Config{Seed: 1, PDelay: 1, MaxDelay: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := in.Point("slow").Check(ctx)
+	if !errors.Is(err, parallel.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("canceled delay still took %v", elapsed)
+	}
+}
+
+func TestCallbackErrorsPassThrough(t *testing.T) {
+	w := Wrap(testData(t, 10), New(Config{Seed: 1, PPartial: 1}).Point("scan"))
+	boom := errors.New("boom")
+	err := w.Scan(func(geom.Point) error { return boom })
+	// With cut 0 the injected error fires before the callback; with a
+	// later cut the callback's own error must win. Either way the error
+	// is never swallowed.
+	if err == nil {
+		t.Fatal("scan returned nil")
+	}
+	if !errors.Is(err, boom) && !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want boom or injected", err)
+	}
+}

@@ -48,6 +48,8 @@ const (
 	CtrOutlierCands   = "outlier_candidates_total"    // candidates kept for exact verification
 	CtrOutlierPruned  = "outlier_points_pruned_total" // points the density estimate ruled out
 	CtrOutlierFound   = "outlier_found_total"         // verified outliers reported
+	CtrRetries        = "stage_retries_total"         // transient-failure retries of pipeline stages
+	CtrFaultsInjected = "faults_injected_total"       // faults the injector fired (tests/chaos only)
 )
 
 // Canonical gauge names (last-written-wins values).

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -209,4 +210,27 @@ func BlocksCtxObs(ctx context.Context, n, blockSize, parallelism int, rec *obs.R
 		start, end := BlockRange(b, n, blockSize)
 		return fn(b, start, end)
 	})
+}
+
+// SleepCtx sleeps for d or until ctx is done, whichever comes first,
+// returning the typed cancellation error in the latter case. It is the
+// context-aware time.Sleep used by retry backoff and fault-injected
+// delays: a canceled request never waits out a backoff. A nil ctx sleeps
+// unconditionally.
+func SleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctxErr(ctx)
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctxErr(ctx)
+	}
 }

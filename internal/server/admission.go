@@ -1,17 +1,26 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
 // ErrSaturated is returned when the in-flight limit and the wait queue are
-// both full, or a queued request's deadline expires before a slot frees.
-// Handlers map it to 429 Too Many Requests — the load-shedding contract:
-// a saturated server answers immediately rather than queueing unboundedly.
+// both full. Handlers map it to 429 Too Many Requests — the load-shedding
+// contract: a saturated server answers immediately rather than queueing
+// unboundedly.
 var ErrSaturated = errors.New("server: saturated")
+
+// ErrQueueExpired is returned when a queued request's deadline expires
+// before a slot frees. It is distinct from ErrSaturated so clients can
+// tell "the queue was full, retry soon" (429) from "the server is too
+// slow for your deadline, back off" (503 + Retry-After). The error wraps
+// the context cause.
+var ErrQueueExpired = errors.New("server: queued request expired")
 
 // ErrDraining is returned once shutdown has begun; handlers map it to 503
 // so load balancers stop routing here while in-flight requests finish.
@@ -23,14 +32,23 @@ var ErrDraining = errors.New("server: draining")
 // with ErrSaturated. The in-flight bound is what keeps Parallelism-wide
 // scans from oversubscribing the machine: total workers ≈ maxInFlight ×
 // per-request parallelism.
+//
+// Handoff is FIFO: a freed slot goes to the head of the wait queue, and a
+// new arrival is never admitted while anyone is queued, so queued
+// requests cannot be starved by a stream of later arrivals.
 type Admission struct {
-	slots chan struct{}
-	queue chan struct{}
+	maxInFlight int
+	maxQueue    int
 
-	draining atomic.Bool
-	inFlight atomic.Int64
-	queued   atomic.Int64
-	shed     atomic.Int64
+	mu      sync.Mutex
+	inUse   int       // slots held or reserved for a granted waiter
+	waiters list.List // of chan struct{} (buffered 1), FIFO
+
+	draining    atomic.Bool
+	inFlight    atomic.Int64
+	queued      atomic.Int64
+	shedFull    atomic.Int64
+	shedExpired atomic.Int64
 }
 
 // NewAdmission returns a controller admitting maxInFlight concurrent
@@ -42,47 +60,76 @@ func NewAdmission(maxInFlight, maxQueue int) *Admission {
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
-	return &Admission{
-		slots: make(chan struct{}, maxInFlight),
-		queue: make(chan struct{}, maxQueue),
-	}
+	return &Admission{maxInFlight: maxInFlight, maxQueue: maxQueue}
 }
 
 // Enter admits the request or rejects it. On success the returned release
 // must be called exactly once when the request finishes. Rejections:
 // ErrDraining after StartDraining, ErrSaturated when slot and queue are
-// full or ctx expires while queued.
+// full, ErrQueueExpired when ctx expires while queued.
 func (a *Admission) Enter(ctx context.Context) (release func(), err error) {
 	if a.draining.Load() {
 		return nil, ErrDraining
 	}
-	select {
-	case a.slots <- struct{}{}:
-	default:
-		// No free slot: wait in the bounded queue, up to the deadline.
-		select {
-		case a.queue <- struct{}{}:
-		default:
-			a.shed.Add(1)
-			return nil, ErrSaturated
-		}
-		a.queued.Add(1)
-		select {
-		case a.slots <- struct{}{}:
-			a.queued.Add(-1)
-			<-a.queue
-		case <-ctx.Done():
-			a.queued.Add(-1)
-			<-a.queue
-			a.shed.Add(1)
-			return nil, fmt.Errorf("%w: %w", ErrSaturated, ctx.Err())
-		}
+	a.mu.Lock()
+	if a.inUse < a.maxInFlight && a.waiters.Len() == 0 {
+		a.inUse++
+		a.mu.Unlock()
+		a.inFlight.Add(1)
+		return a.release, nil
 	}
-	a.inFlight.Add(1)
-	return func() {
-		a.inFlight.Add(-1)
-		<-a.slots
-	}, nil
+	if a.waiters.Len() >= a.maxQueue {
+		a.mu.Unlock()
+		a.shedFull.Add(1)
+		return nil, ErrSaturated
+	}
+	grant := make(chan struct{}, 1)
+	el := a.waiters.PushBack(grant)
+	a.queued.Add(1)
+	a.mu.Unlock()
+
+	select {
+	case <-grant:
+		a.queued.Add(-1)
+		a.inFlight.Add(1)
+		return a.release, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-grant:
+			// Granted concurrently with expiry: the slot is ours but
+			// unwanted — pass it down the queue instead of leaking it.
+			a.handoffLocked()
+		default:
+			a.waiters.Remove(el)
+		}
+		a.mu.Unlock()
+		a.queued.Add(-1)
+		a.shedExpired.Add(1)
+		return nil, fmt.Errorf("%w: %w", ErrQueueExpired, ctx.Err())
+	}
+}
+
+// release returns the caller's slot: to the queue head if anyone is
+// waiting, otherwise back to the free pool.
+func (a *Admission) release() {
+	a.inFlight.Add(-1)
+	a.mu.Lock()
+	a.handoffLocked()
+	a.mu.Unlock()
+}
+
+// handoffLocked transfers a held slot to the first waiter, or frees it
+// when the queue is empty. Callers must hold a.mu. The grant channel is
+// buffered, so the send never blocks even if the waiter has already
+// abandoned the queue path (that case is drained in Enter's expiry arm).
+func (a *Admission) handoffLocked() {
+	if el := a.waiters.Front(); el != nil {
+		a.waiters.Remove(el)
+		el.Value.(chan struct{}) <- struct{}{}
+		return
+	}
+	a.inUse--
 }
 
 // StartDraining flips the controller into drain mode: every subsequent
@@ -99,5 +146,14 @@ func (a *Admission) InFlight() int64 { return a.inFlight.Load() }
 // Queued returns the number of requests waiting for a slot.
 func (a *Admission) Queued() int64 { return a.queued.Load() }
 
-// Shed returns the number of requests rejected with ErrSaturated.
-func (a *Admission) Shed() int64 { return a.shed.Load() }
+// Shed returns the total number of rejected requests, queue-full and
+// queued-deadline-expired combined.
+func (a *Admission) Shed() int64 { return a.shedFull.Load() + a.shedExpired.Load() }
+
+// ShedQueueFull returns the number of requests rejected with ErrSaturated
+// because slots and queue were full on arrival.
+func (a *Admission) ShedQueueFull() int64 { return a.shedFull.Load() }
+
+// ShedExpired returns the number of requests rejected with
+// ErrQueueExpired because their deadline passed while queued.
+func (a *Admission) ShedExpired() int64 { return a.shedExpired.Load() }

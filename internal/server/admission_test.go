@@ -74,14 +74,98 @@ func TestAdmissionDeadlineWhileQueued(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
 	_, err = a.Enter(ctx)
-	if !errors.Is(err, ErrSaturated) {
-		t.Fatalf("err = %v, want ErrSaturated", err)
+	if !errors.Is(err, ErrQueueExpired) {
+		t.Fatalf("err = %v, want ErrQueueExpired", err)
+	}
+	if errors.Is(err, ErrSaturated) {
+		t.Errorf("err = %v conflates queue expiry with saturation", err)
 	}
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("err = %v does not carry the deadline cause", err)
 	}
 	if a.Queued() != 0 {
 		t.Errorf("queued = %d after timeout, want 0", a.Queued())
+	}
+	if full, exp := a.ShedQueueFull(), a.ShedExpired(); full != 0 || exp != 1 {
+		t.Errorf("shed split = (full %d, expired %d), want (0, 1)", full, exp)
+	}
+	if a.Shed() != 1 {
+		t.Errorf("shed total = %d, want 1", a.Shed())
+	}
+}
+
+// TestAdmissionShedCountersSplit pins the two rejection modes to their
+// own counters: queue-full arrivals land in ShedQueueFull, queued
+// requests whose deadline passes land in ShedExpired.
+func TestAdmissionShedCountersSplit(t *testing.T) {
+	a := NewAdmission(1, 1)
+	rel, err := a.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	// Fill the queue, then overflow it.
+	qctx, qcancel := context.WithCancel(context.Background())
+	qDone := make(chan error, 1)
+	go func() {
+		_, werr := a.Enter(qctx)
+		qDone <- werr
+	}()
+	for a.Queued() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := a.Enter(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("overflow err = %v, want ErrSaturated", err)
+	}
+	// Expire the queued request.
+	qcancel()
+	if werr := <-qDone; !errors.Is(werr, ErrQueueExpired) {
+		t.Fatalf("queued err = %v, want ErrQueueExpired", werr)
+	}
+	if full, exp := a.ShedQueueFull(), a.ShedExpired(); full != 1 || exp != 1 {
+		t.Errorf("shed split = (full %d, expired %d), want (1, 1)", full, exp)
+	}
+	if a.Shed() != 2 {
+		t.Errorf("shed total = %d, want 2", a.Shed())
+	}
+}
+
+// TestAdmissionFIFOOrder queues several waiters and checks that freed
+// slots are granted in arrival order.
+func TestAdmissionFIFOOrder(t *testing.T) {
+	a := NewAdmission(1, 4)
+	hold, err := a.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		gc := newGateCtx()
+		go func() {
+			rel, werr := a.Enter(gc)
+			if werr != nil {
+				order <- -1
+				return
+			}
+			order <- i
+			rel()
+		}()
+		// The gate context pins each waiter's enqueue before the next
+		// goroutine starts, making arrival order deterministic.
+		<-gc.entered
+		close(gc.gate)
+	}
+	hold()
+	for want := 0; want < n; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("admission order: got %d, want %d", got, want)
+		}
+	}
+	if a.InFlight() != 0 || a.Queued() != 0 {
+		t.Errorf("in flight %d queued %d after drain, want 0, 0", a.InFlight(), a.Queued())
 	}
 }
 

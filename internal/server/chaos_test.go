@@ -1,0 +1,264 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/geom"
+)
+
+// chaosReqs is the fixed request mix every chaos run replays: two
+// distinct sample identities (with repeats, so cache interplay and
+// stale serving are exercised), a cluster request sharing sample A's
+// artifact, and an estimator-only outlier request.
+var chaosReqs = []struct {
+	name string
+	path string
+	body map[string]any
+}{
+	{"sampleA", "/v1/sample", map[string]any{"dataset": "pts", "alpha": 1.0, "size": 60, "kernels": 32, "seed": 101}},
+	{"sampleB", "/v1/sample", map[string]any{"dataset": "pts", "alpha": 1.0, "size": 60, "kernels": 32, "seed": 202}},
+	{"sampleA2", "/v1/sample", map[string]any{"dataset": "pts", "alpha": 1.0, "size": 60, "kernels": 32, "seed": 101}},
+	{"cluster", "/v1/cluster", map[string]any{"dataset": "pts", "alpha": 1.0, "size": 60, "kernels": 32, "seed": 101, "k": 3}},
+	{"outliers", "/v1/outliers", map[string]any{"dataset": "pts", "radius": 0.1, "p": 2, "kernels": 32, "seed": 101, "method": "estimate"}},
+	{"sampleB2", "/v1/sample", map[string]any{"dataset": "pts", "alpha": 1.0, "size": 60, "kernels": 32, "seed": 202}},
+}
+
+func chaosConfig(inj *faults.Injector) Config {
+	return Config{
+		Parallelism: 2,
+		// Small enough that the two sample identities evict each other,
+		// so the stale ring and re-build paths stay hot.
+		CacheBytes:   10 << 10,
+		StaleOK:      true,
+		Retry:        2,
+		RetryBackoff: 200 * time.Microsecond,
+		StageTimeout: 2 * time.Second,
+		Deadline:     5 * time.Second,
+		MaxInFlight:  3,
+		MaxQueue:     2,
+		Faults:       inj,
+	}
+}
+
+func postRaw(t *testing.T, url string, body map[string]any) (int, http.Header, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// TestChaosServingInvariants replays the request mix against many seeded
+// fault schedules (error, delay, partial read, cancellation injected into
+// dataset scans and both build stages) and asserts the serving
+// guarantees hold under every one of them:
+//
+//   - whenever a request succeeds, its bytes are identical to the
+//     fault-free run — faults may fail requests, never corrupt them;
+//   - failures only ever surface as 429, 503, or 504;
+//   - admission slots are all released and the queue drains to zero;
+//   - the cache's byte accounting and counter conservation hold exactly;
+//   - no goroutine is leaked.
+func TestChaosServingInvariants(t *testing.T) {
+	checkLeaks := leakCheck(t)
+	mem := dataset.MustInMemory(testPoints(600, 2, 11))
+
+	// Reference run: same requests, no faults.
+	ref := make([][]byte, len(chaosReqs))
+	func() {
+		srv := New(chaosConfig(nil))
+		if err := srv.Registry().RegisterDataset("pts", mem); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		for i, rq := range chaosReqs {
+			status, _, body := postRaw(t, ts.URL+rq.path, rq.body)
+			if status != http.StatusOK {
+				t.Fatalf("reference %s: %d: %s", rq.name, status, body)
+			}
+			ref[i] = body
+		}
+	}()
+
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	var injectedTotal, okTotal, failTotal int64
+	for seed := 1; seed <= seeds; seed++ {
+		inj := faults.New(faults.Config{
+			Seed:     uint64(seed),
+			PError:   0.15,
+			PDelay:   0.10,
+			PPartial: 0.10,
+			PCancel:  0.05,
+			MaxDelay: 500 * time.Microsecond,
+		})
+		srv := New(chaosConfig(inj))
+		if err := srv.Registry().RegisterDataset("pts", faults.Wrap(mem, inj.Point("dataset"))); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+
+		var wg sync.WaitGroup
+		for i, rq := range chaosReqs {
+			wg.Add(1)
+			go func(i int, name, path string, body map[string]any) {
+				defer wg.Done()
+				status, _, data := postRaw(t, ts.URL+path, body)
+				switch status {
+				case http.StatusOK:
+					atomic.AddInt64(&okTotal, 1)
+					if !bytes.Equal(data, ref[i]) {
+						t.Errorf("seed %d %s: 200 body differs from fault-free run", seed, name)
+					}
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+					atomic.AddInt64(&failTotal, 1)
+				default:
+					t.Errorf("seed %d %s: unexpected status %d: %s", seed, name, status, data)
+				}
+			}(i, rq.name, rq.path, rq.body)
+		}
+		wg.Wait()
+		ts.Close()
+
+		if n := srv.adm.InFlight(); n != 0 {
+			t.Errorf("seed %d: %d requests still in flight after drain", seed, n)
+		}
+		if n := srv.adm.Queued(); n != 0 {
+			t.Errorf("seed %d: %d requests still queued after drain", seed, n)
+		}
+		if err := srv.cache.invariants(); err != nil {
+			t.Errorf("seed %d: cache invariants: %v", seed, err)
+		}
+		injectedTotal += inj.Injected()
+	}
+	if injectedTotal == 0 {
+		t.Error("no faults fired across any seed — the chaos run tested nothing")
+	}
+	if okTotal == 0 {
+		t.Error("no request ever succeeded under faults — retry/stale machinery is dead")
+	}
+	t.Logf("chaos: %d seeds, %d faults injected, %d ok, %d shed/failed",
+		seeds, injectedTotal, okTotal, failTotal)
+	checkLeaks()
+}
+
+// flakyDataset wraps an in-memory dataset and fails every scan — on both
+// the sequential and the block-range path, so the parallel fast path
+// cannot sneak around it — while armed. The error reports Temporary(),
+// so the retry layer classifies it transient.
+type flakyDataset struct {
+	*dataset.InMemory
+	armed atomic.Bool
+}
+
+type flakyErr struct{}
+
+func (flakyErr) Error() string   { return "flaky: transient io failure" }
+func (flakyErr) Temporary() bool { return true }
+
+func (f *flakyDataset) Scan(fn func(p geom.Point) error) error {
+	if f.armed.Load() {
+		return flakyErr{}
+	}
+	return f.InMemory.Scan(fn)
+}
+
+func (f *flakyDataset) ScanRange(start, end int, fn func(p geom.Point) error) error {
+	if f.armed.Load() {
+		return flakyErr{}
+	}
+	return f.InMemory.ScanRange(start, end, fn)
+}
+
+// TestChaosStaleServe pins graceful degradation end to end: an artifact
+// evicted from the primary cache is served from the stale ring — flagged
+// in X-DBS-Cache, byte-identical to the original — when its rebuild
+// fails, and a later successful rebuild takes over seamlessly.
+func TestChaosStaleServe(t *testing.T) {
+	checkLeaks := leakCheck(t)
+	flaky := &flakyDataset{InMemory: dataset.MustInMemory(testPoints(600, 2, 11))}
+	srv := New(Config{
+		Parallelism: 2,
+		// Fits one request's artifacts (estimator + sample ~7 KiB), so
+		// the second identity evicts the first into the stale ring.
+		CacheBytes:   8 << 10,
+		StaleOK:      true,
+		Retry:        1,
+		RetryBackoff: 100 * time.Microsecond,
+		Deadline:     5 * time.Second,
+	})
+	if err := srv.Registry().RegisterDataset("pts", flaky); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reqA := map[string]any{"dataset": "pts", "alpha": 1.0, "size": 60, "kernels": 32, "seed": 101}
+	reqB := map[string]any{"dataset": "pts", "alpha": 1.0, "size": 60, "kernels": 32, "seed": 202}
+
+	status, hdr, bodyA := postRaw(t, ts.URL+"/v1/sample", reqA)
+	if status != http.StatusOK || hdr.Get("X-DBS-Cache") != "miss" {
+		t.Fatalf("A: %d cache=%q: %s", status, hdr.Get("X-DBS-Cache"), bodyA)
+	}
+	if status, _, body := postRaw(t, ts.URL+"/v1/sample", reqB); status != http.StatusOK {
+		t.Fatalf("B: %d: %s", status, body)
+	}
+	if st := srv.cache.Stats(); st.StaleItems == 0 {
+		t.Fatalf("B did not evict A into the stale ring: %+v", st)
+	}
+
+	// Every scan now fails: the rebuild of A exhausts its retries and the
+	// stale copy is served — same bytes the fresh artifact had.
+	flaky.armed.Store(true)
+	status, hdr, body := postRaw(t, ts.URL+"/v1/sample", reqA)
+	if status != http.StatusOK {
+		t.Fatalf("stale serve: %d: %s", status, body)
+	}
+	if got := hdr.Get("X-DBS-Cache"); got != "stale" {
+		t.Errorf("X-DBS-Cache = %q, want stale", got)
+	}
+	if !bytes.Equal(body, bodyA) {
+		t.Error("stale response differs from the original artifact's bytes")
+	}
+	if st := srv.cache.Stats(); st.StaleServed == 0 {
+		t.Errorf("stale served not counted: %+v", st)
+	}
+
+	// Recovery: scans work again, the key rebuilds fresh and the result
+	// is still the same bytes.
+	flaky.armed.Store(false)
+	status, hdr, body = postRaw(t, ts.URL+"/v1/sample", reqA)
+	if status != http.StatusOK || hdr.Get("X-DBS-Cache") != "miss" {
+		t.Fatalf("rebuild: %d cache=%q: %s", status, hdr.Get("X-DBS-Cache"), body)
+	}
+	if !bytes.Equal(body, bodyA) {
+		t.Error("rebuilt response differs from the original bytes")
+	}
+	if err := srv.cache.invariants(); err != nil {
+		t.Error(err)
+	}
+	checkLeaks()
+}

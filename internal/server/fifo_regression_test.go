@@ -1,0 +1,84 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// gateCtx is a context whose Done() blocks until the gate is released,
+// signalling entry first. A waiter using it freezes at the exact point
+// where it is counted as queued but has not yet begun waiting for a slot
+// — the widest possible version of the instant every queued request
+// passes through. While the waiter is held there, the test frees a slot
+// and lets a new arrival race for it.
+type gateCtx struct {
+	entered chan struct{} // receives once Done() has been called
+	gate    chan struct{} // close to let Done() return
+	done    chan struct{} // never closed
+}
+
+func newGateCtx() *gateCtx {
+	return &gateCtx{
+		entered: make(chan struct{}, 1),
+		gate:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+func (c *gateCtx) Done() <-chan struct{} {
+	select {
+	case c.entered <- struct{}{}:
+	default:
+	}
+	<-c.gate
+	return c.done
+}
+
+func (c *gateCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *gateCtx) Err() error                  { return nil }
+func (c *gateCtx) Value(any) any               { return nil }
+
+// TestAdmissionQueuedWaiterBeatsNewArrival is the regression test for the
+// admission starvation bug: when a slot frees, it must go to the queued
+// request, never to a later arrival. The waiter is held at the moment it
+// has joined the queue but not yet claimed a slot; a FIFO controller has
+// already reserved the freed slot for it by then, while the original
+// implementation leaves the slot up for grabs and a new arrival steals it.
+func TestAdmissionQueuedWaiterBeatsNewArrival(t *testing.T) {
+	a := NewAdmission(1, 2)
+	hold, err := a.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wctx := newGateCtx()
+	wDone := make(chan error, 1)
+	go func() {
+		rel, werr := a.Enter(wctx)
+		wDone <- werr
+		if werr == nil {
+			rel()
+		}
+	}()
+	<-wctx.entered // the waiter is now queued
+	if got := a.Queued(); got != 1 {
+		t.Fatalf("queued = %d, want 1", got)
+	}
+
+	hold() // free the slot while the waiter is queued
+
+	// A new arrival must not jump the queue: the freed slot belongs to
+	// the waiter. The arrival should queue up behind it and time out.
+	actx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if rel2, err2 := a.Enter(actx); err2 == nil {
+		rel2()
+		t.Error("new arrival was admitted while an earlier request was queued")
+	}
+
+	close(wctx.gate)
+	if werr := <-wDone; werr != nil {
+		t.Errorf("queued waiter rejected: %v", werr)
+	}
+}

@@ -50,11 +50,19 @@ func (s *Server) compute(route string, fn computeHandler) http.HandlerFunc {
 
 		release, err := s.adm.Enter(ctx)
 		if err != nil {
-			setCounter(s.rec.Counter(CtrShed), s.adm.Shed())
+			s.syncShedCounters()
 			switch {
 			case errors.Is(err, ErrDraining):
+				w.Header().Set("Retry-After", "5")
 				s.fail(w, http.StatusServiceUnavailable, "draining")
+			case errors.Is(err, ErrQueueExpired):
+				// The deadline passed while queued: the server is too
+				// slow for this client right now, not just momentarily
+				// full — tell it (and load balancers) to back off.
+				w.Header().Set("Retry-After", s.retryAfterHint())
+				s.fail(w, http.StatusServiceUnavailable, "overloaded: deadline expired while queued")
 			case errors.Is(err, ErrSaturated):
+				w.Header().Set("Retry-After", "1")
 				s.fail(w, http.StatusTooManyRequests, "saturated: %d in flight, queue full", s.adm.InFlight())
 			default:
 				s.fail(w, http.StatusInternalServerError, "%v", err)
@@ -79,12 +87,19 @@ func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...an
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// pipelineFail maps a pipeline error onto a status: cancellation from the
-// request deadline becomes 504, everything else 422 (the request was
+// pipelineFail maps a pipeline error onto a status: cancellation from
+// the request deadline becomes 504, a transient failure that survived
+// the retry budget becomes 503 + Retry-After (the server is healthy,
+// the attempt was unlucky), everything else 422 (the request was
 // well-formed but the pipeline rejected or could not finish it).
 func (s *Server) pipelineFail(w http.ResponseWriter, err error) {
 	if errors.Is(err, dataset.ErrCanceled) {
 		s.fail(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
+		return
+	}
+	if isTransient(err) {
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusServiceUnavailable, "transient failure: %v", err)
 		return
 	}
 	s.fail(w, http.StatusUnprocessableEntity, "%v", err)
@@ -107,13 +122,11 @@ func decodeJSON(r *http.Request, v any) error {
 	return dec.Decode(v)
 }
 
-// markCache reports hit/miss in a header, never in the body.
-func markCache(w http.ResponseWriter, hit bool) {
-	if hit {
-		w.Header().Set("X-DBS-Cache", "hit")
-	} else {
-		w.Header().Set("X-DBS-Cache", "miss")
-	}
+// markCache reports hit/miss/stale in a header, never in the body:
+// response bytes stay a pure function of (dataset, params, seed), and a
+// stale artifact has exactly the bytes the fresh one had.
+func markCache(w http.ResponseWriter, out Outcome) {
+	w.Header().Set("X-DBS-Cache", out.String())
 }
 
 // hexFloat canonicalizes a float for cache keys: the exact bit pattern,
@@ -125,25 +138,29 @@ func hexFloat(v float64) string {
 // ---- health & registry endpoints ----
 
 type healthResponse struct {
-	Status   string                    `json:"status"`
-	Datasets int                       `json:"datasets"`
-	InFlight int64                     `json:"in_flight"`
-	Queued   int64                     `json:"queued"`
-	Shed     int64                     `json:"shed"`
-	Cache    CacheStats                `json:"cache"`
-	Latency  map[string]LatencySummary `json:"latency,omitempty"`
+	Status        string                    `json:"status"`
+	Datasets      int                       `json:"datasets"`
+	InFlight      int64                     `json:"in_flight"`
+	Queued        int64                     `json:"queued"`
+	Shed          int64                     `json:"shed"`
+	ShedQueueFull int64                     `json:"shed_queue_full"`
+	ShedExpired   int64                     `json:"shed_expired"`
+	Cache         CacheStats                `json:"cache"`
+	Latency       map[string]LatencySummary `json:"latency,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.rec.Counter(CtrRequests).Inc()
 	resp := healthResponse{
-		Status:   "ok",
-		Datasets: s.reg.Len(),
-		InFlight: s.adm.InFlight(),
-		Queued:   s.adm.Queued(),
-		Shed:     s.adm.Shed(),
-		Cache:    s.cache.Stats(),
-		Latency:  s.latencySummaries(),
+		Status:        "ok",
+		Datasets:      s.reg.Len(),
+		InFlight:      s.adm.InFlight(),
+		Queued:        s.adm.Queued(),
+		Shed:          s.adm.Shed(),
+		ShedQueueFull: s.adm.ShedQueueFull(),
+		ShedExpired:   s.adm.ShedExpired(),
+		Cache:         s.cache.Stats(),
+		Latency:       s.latencySummaries(),
 	}
 	code := http.StatusOK
 	if s.adm.Draining() {
@@ -276,21 +293,34 @@ func seedStreams(seed uint64) (estRNG, drawRNG *stats.RNG) {
 // (attached once at build — a shared artifact must not point at any single
 // request's recorder), so their kernel-evaluation counters aggregate
 // across requests.
-func (s *Server) estimator(ctx context.Context, rec *obs.Recorder, h *Handle, p estParams) (*kde.Estimator, bool, error) {
+func (s *Server) estimator(ctx context.Context, rec *obs.Recorder, h *Handle, p estParams) (*kde.Estimator, Outcome, error) {
 	fp, err := h.Fingerprint()
 	if err != nil {
-		return nil, false, err
+		return nil, OutcomeMiss, err
 	}
-	v, hit, err := s.cache.GetOrBuild(p.key(fp), func() (any, int64, error) {
-		s.rec.Counter(CtrKDEBuilds).Inc()
-		estRNG, _ := seedStreams(p.Seed)
-		est, berr := kde.Build(h.Dataset(), kde.Options{
-			NumKernels:  p.Kernels,
-			Kernel:      kde.KernelByName(p.Kernel),
-			Parallelism: s.cfg.Parallelism,
-			Ctx:         ctx,
-			Obs:         rec,
-		}, estRNG)
+	v, out, err := s.cache.GetOrBuild(p.key(fp), func() (any, int64, error) {
+		var est *kde.Estimator
+		berr := s.runStage(ctx, rec, "server/build/est", p.Seed, func(sctx context.Context) error {
+			if ferr := s.pEst.Check(sctx); ferr != nil {
+				return ferr
+			}
+			s.rec.Counter(CtrKDEBuilds).Inc()
+			// The RNG stream is re-derived per attempt, so a retried
+			// build produces the identical estimator.
+			estRNG, _ := seedStreams(p.Seed)
+			e, berr := kde.Build(h.Dataset(), kde.Options{
+				NumKernels:  p.Kernels,
+				Kernel:      kde.KernelByName(p.Kernel),
+				Parallelism: s.cfg.Parallelism,
+				Ctx:         sctx,
+				Obs:         rec,
+			}, estRNG)
+			if berr != nil {
+				return berr
+			}
+			est = e
+			return nil
+		})
 		if berr != nil {
 			return nil, 0, berr
 		}
@@ -299,9 +329,9 @@ func (s *Server) estimator(ctx context.Context, rec *obs.Recorder, h *Handle, p 
 	})
 	s.syncCacheCounters()
 	if err != nil {
-		return nil, false, err
+		return nil, out, err
 	}
-	return v.(*kde.Estimator), hit, nil
+	return v.(*kde.Estimator), out, nil
 }
 
 // estimatorBytes approximates an estimator's resident size for the cache
@@ -352,25 +382,38 @@ func (q sampleRequest) key(fp uint64, p estParams) string {
 // drawSample returns the cached sample artifact for the request, running
 // the pipeline (estimator + pass 1/2) on miss. On a hit no dataset pass
 // runs at all.
-func (s *Server) drawSample(ctx context.Context, rec *obs.Recorder, h *Handle, q sampleRequest, p estParams) (*core.Sample, bool, error) {
+func (s *Server) drawSample(ctx context.Context, rec *obs.Recorder, h *Handle, q sampleRequest, p estParams) (*core.Sample, Outcome, error) {
 	fp, err := h.Fingerprint()
 	if err != nil {
-		return nil, false, err
+		return nil, OutcomeMiss, err
 	}
-	v, hit, err := s.cache.GetOrBuild(q.key(fp, p), func() (any, int64, error) {
+	v, out, err := s.cache.GetOrBuild(q.key(fp, p), func() (any, int64, error) {
+		// The estimator stage retries internally, so only the draw runs
+		// under this stage's retry budget — no multiplicative retries.
 		est, _, eerr := s.estimator(ctx, rec, h, p)
 		if eerr != nil {
 			return nil, 0, eerr
 		}
-		_, drawRNG := seedStreams(p.Seed)
-		sm, derr := core.Draw(h.Dataset(), est, core.Options{
-			Alpha:       q.Alpha,
-			TargetSize:  q.Size,
-			OnePass:     q.OnePass,
-			Parallelism: s.cfg.Parallelism,
-			Ctx:         ctx,
-			Obs:         rec,
-		}, drawRNG)
+		var sm *core.Sample
+		derr := s.runStage(ctx, rec, "server/build/sample", p.Seed, func(sctx context.Context) error {
+			if ferr := s.pSample.Check(sctx); ferr != nil {
+				return ferr
+			}
+			_, drawRNG := seedStreams(p.Seed)
+			m, derr := core.Draw(h.Dataset(), est, core.Options{
+				Alpha:       q.Alpha,
+				TargetSize:  q.Size,
+				OnePass:     q.OnePass,
+				Parallelism: s.cfg.Parallelism,
+				Ctx:         sctx,
+				Obs:         rec,
+			}, drawRNG)
+			if derr != nil {
+				return derr
+			}
+			sm = m
+			return nil
+		})
 		if derr != nil {
 			return nil, 0, derr
 		}
@@ -378,9 +421,9 @@ func (s *Server) drawSample(ctx context.Context, rec *obs.Recorder, h *Handle, q
 	})
 	s.syncCacheCounters()
 	if err != nil {
-		return nil, false, err
+		return nil, out, err
 	}
-	return v.(*core.Sample), hit, nil
+	return v.(*core.Sample), out, nil
 }
 
 type samplePoint struct {
@@ -417,7 +460,7 @@ func (s *Server) handleSample(ctx context.Context, rec *obs.Recorder, w http.Res
 	}
 	defer h.Release()
 
-	sm, hit, err := s.drawSample(ctx, rec, h, req, p)
+	sm, out, err := s.drawSample(ctx, rec, h, req, p)
 	if err != nil {
 		s.pipelineFail(w, err)
 		return
@@ -427,7 +470,7 @@ func (s *Server) handleSample(ctx context.Context, rec *obs.Recorder, w http.Res
 	for i, wp := range sm.Points {
 		pts[i] = samplePoint{P: wp.P, W: wp.W}
 	}
-	markCache(w, hit)
+	markCache(w, out)
 	writeJSON(w, http.StatusOK, sampleResponse{
 		Dataset:     req.Dataset,
 		Fingerprint: fmt.Sprintf("%016x", fp),
@@ -502,7 +545,7 @@ func (s *Server) handleCluster(ctx context.Context, rec *obs.Recorder, w http.Re
 
 	// The sample artifact is shared with /v1/sample: a prior sample
 	// request (same params, seed) warms this endpoint and vice versa.
-	sm, hit, err := s.drawSample(ctx, rec, h, sq, p)
+	sm, out, err := s.drawSample(ctx, rec, h, sq, p)
 	if err != nil {
 		s.pipelineFail(w, err)
 		return
@@ -526,7 +569,7 @@ func (s *Server) handleCluster(ctx context.Context, rec *obs.Recorder, w http.Re
 	for i, c := range clusters {
 		infos[i] = clusterInfo{Size: c.Size(), Mean: c.Mean, Reps: c.Reps}
 	}
-	markCache(w, hit)
+	markCache(w, out)
 	writeJSON(w, http.StatusOK, clusterResponse{
 		Dataset:     req.Dataset,
 		Fingerprint: fmt.Sprintf("%016x", fp),
@@ -597,7 +640,7 @@ func (s *Server) handleOutliers(ctx context.Context, rec *obs.Recorder, w http.R
 	prm.Ctx = ctx
 	prm.Obs = rec
 
-	est, hit, err := s.estimator(ctx, rec, h, p)
+	est, out, err := s.estimator(ctx, rec, h, p)
 	if err != nil {
 		s.pipelineFail(w, err)
 		return
@@ -629,6 +672,6 @@ func (s *Server) handleOutliers(ctx context.Context, rec *obs.Recorder, w http.R
 		}
 		resp.Count = n
 	}
-	markCache(w, hit)
+	markCache(w, out)
 	writeJSON(w, http.StatusOK, resp)
 }

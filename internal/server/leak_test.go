@@ -1,0 +1,54 @@
+package server
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakCheck snapshots the goroutines running repro code and returns a
+// function that fails the test if any new ones are still alive at the
+// end (with a grace period for handlers winding down). Used by the
+// chaos suite to prove no fault schedule strands a worker, a queued
+// waiter, or a cache-build goroutine.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := reproStacks()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for s := range reproStacks() {
+				if !before[s] {
+					leaked = append(leaked, s)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("%d goroutines leaked:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+// reproStacks returns the stacks of all live goroutines that run code
+// from this module, keyed by their full trace (the set view filters
+// pre-existing ones without tracking goroutine ids).
+func reproStacks() map[string]bool {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	out := make(map[string]bool)
+	for _, s := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(s, "repro/") && !strings.Contains(s, "reproStacks") {
+			out[s] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestRegistryRaceRemoveWhileAcquire hammers Acquire/Release against
+// Remove/re-register for the same names. Run under -race it proves the
+// registry's refcount handover has no data races, and the invariant
+// that an acquired handle stays usable after its entry is removed.
+func TestRegistryRaceRemoveWhileAcquire(t *testing.T) {
+	r := NewRegistry(1)
+	const names = 8
+	mk := func(i int) string { return fmt.Sprintf("ds%d", i) }
+	for i := 0; i < names; i++ {
+		if err := r.RegisterDataset(mk(i), dataset.MustInMemory(testPoints(50, 2, uint64(i+1)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				name := mk((g + i) % names)
+				h, err := r.Acquire(name)
+				if err != nil {
+					if !errors.Is(err, ErrNotFound) {
+						t.Errorf("acquire %s: %v", name, err)
+						return
+					}
+					continue
+				}
+				// The dataset and fingerprint must stay usable even if
+				// the entry is concurrently removed.
+				if h.Dataset().Len() != 50 {
+					t.Errorf("%s: len = %d", name, h.Dataset().Len())
+				}
+				if _, err := h.Fingerprint(); err != nil {
+					t.Errorf("%s: fingerprint: %v", name, err)
+				}
+				h.Release()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			name := mk(i % names)
+			if err := r.Remove(name); err != nil && !errors.Is(err, ErrNotFound) {
+				t.Errorf("remove %s: %v", name, err)
+				return
+			}
+			// Re-register so acquirers keep finding entries; ErrExists
+			// can race with another iteration's register — tolerated.
+			if err := r.RegisterDataset(name, dataset.MustInMemory(testPoints(50, 2, uint64(i)))); err != nil && !errors.Is(err, ErrExists) {
+				t.Errorf("re-register %s: %v", name, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestRegistryConcurrentLazyOpen races many first Acquires of one
+// path-backed entry: the file must be opened once (every handle sees
+// the same Dataset) and the memoized fingerprint must be identical
+// across handles.
+func TestRegistryConcurrentLazyOpen(t *testing.T) {
+	r := NewRegistry(1)
+	if err := r.RegisterPath("pts", testFile(t, 200, 3)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var (
+		wg  sync.WaitGroup
+		dss [n]dataset.Dataset
+		fps [n]uint64
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := r.Acquire("pts")
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			defer h.Release()
+			dss[i] = h.Dataset()
+			fp, err := h.Fingerprint()
+			if err != nil {
+				t.Errorf("fingerprint: %v", err)
+				return
+			}
+			fps[i] = fp
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if dss[i] != dss[0] {
+			t.Fatalf("handle %d opened a second dataset instance", i)
+		}
+		if fps[i] != fps[0] {
+			t.Fatalf("handle %d fingerprint %016x != %016x", i, fps[i], fps[0])
+		}
+	}
+}

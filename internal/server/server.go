@@ -3,9 +3,11 @@ package server
 import (
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/stats"
@@ -14,13 +16,16 @@ import (
 // Server-level counter and gauge names, joining the catalogue in
 // internal/obs. Exposed at /metrics in Prometheus text format.
 const (
-	CtrRequests   = "server_requests_total"
-	CtrErrors     = "server_request_errors_total"
-	CtrShed       = "server_requests_shed_total"
-	CtrCacheHit   = "server_cache_hits_total"
-	CtrCacheMiss  = "server_cache_misses_total"
-	CtrCacheEvict = "server_cache_evictions_total"
-	CtrKDEBuilds  = "server_kde_builds_total"
+	CtrRequests    = "server_requests_total"
+	CtrErrors      = "server_request_errors_total"
+	CtrShed        = "server_requests_shed_total"
+	CtrShedFull    = "server_requests_shed_queue_full_total"
+	CtrShedExpired = "server_requests_shed_expired_total"
+	CtrCacheHit    = "server_cache_hits_total"
+	CtrCacheMiss   = "server_cache_misses_total"
+	CtrCacheEvict  = "server_cache_evictions_total"
+	CtrCacheStale  = "server_cache_stale_served_total"
+	CtrKDEBuilds   = "server_kde_builds_total"
 
 	GaugeInFlight   = "server_in_flight"
 	GaugeCacheBytes = "server_cache_bytes"
@@ -48,6 +53,25 @@ type Config struct {
 	// Deadline is the per-request time budget (default 30s). It bounds
 	// both queue wait and pipeline execution via the request context.
 	Deadline time.Duration
+	// Retry is how many times a transiently failed build stage is
+	// re-attempted (0 = fail on first error). Retries back off
+	// exponentially from RetryBackoff with deterministic jitter and
+	// never outlive the request deadline.
+	Retry int
+	// RetryBackoff is the base backoff before the first retry, doubling
+	// per attempt (default 20ms when Retry > 0).
+	RetryBackoff time.Duration
+	// StageTimeout bounds each build-stage attempt; a stage that blows
+	// it is retried under the Retry budget while the request deadline
+	// holds (0 = stages bounded only by the request deadline).
+	StageTimeout time.Duration
+	// StaleOK keeps evicted cache artifacts in a stale side-ring (same
+	// byte budget as the cache) and serves one — flagged via
+	// X-DBS-Cache: stale — when its rebuild fails.
+	StaleOK bool
+	// Faults injects scheduled faults into the build stages (chaos
+	// tests and experiments; nil injects nothing).
+	Faults *faults.Injector
 	// Rec receives the server's counters and gauges, plus every
 	// request's rolled-up pipeline counters. A fresh Recorder is created
 	// when nil.
@@ -73,6 +97,12 @@ func (c Config) withDefaults() Config {
 	if c.Deadline == 0 {
 		c.Deadline = 30 * time.Second
 	}
+	if c.Retry < 0 {
+		c.Retry = 0
+	}
+	if c.RetryBackoff == 0 && c.Retry > 0 {
+		c.RetryBackoff = 20 * time.Millisecond
+	}
 	if c.Rec == nil {
 		c.Rec = obs.New()
 	}
@@ -89,6 +119,11 @@ type Server struct {
 	rec   *obs.Recorder
 	mux   *http.ServeMux
 
+	// Fault-injection points guarding the two build stages; nil (the
+	// usual case) injects nothing.
+	pEst    *faults.Point
+	pSample *faults.Point
+
 	latMu sync.Mutex
 	lat   map[string]*latRing
 }
@@ -96,14 +131,20 @@ type Server struct {
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	staleBytes := int64(0)
+	if cfg.StaleOK {
+		staleBytes = cfg.CacheBytes
+	}
 	s := &Server{
-		cfg:   cfg,
-		reg:   NewRegistry(cfg.Parallelism),
-		cache: NewCache(cfg.CacheBytes),
-		adm:   NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
-		rec:   cfg.Rec,
-		mux:   http.NewServeMux(),
-		lat:   make(map[string]*latRing),
+		cfg:     cfg,
+		reg:     NewRegistry(cfg.Parallelism),
+		cache:   NewCache(cfg.CacheBytes, staleBytes),
+		adm:     NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		rec:     cfg.Rec,
+		mux:     http.NewServeMux(),
+		lat:     make(map[string]*latRing),
+		pEst:    cfg.Faults.Point("server/build/est"),
+		pSample: cfg.Faults.Point("server/build/sample"),
 	}
 	s.routes()
 	return s
@@ -214,7 +255,29 @@ func (s *Server) syncCacheCounters() {
 	setCounter(s.rec.Counter(CtrCacheHit), st.Hits)
 	setCounter(s.rec.Counter(CtrCacheMiss), st.Misses)
 	setCounter(s.rec.Counter(CtrCacheEvict), st.Evictions)
+	setCounter(s.rec.Counter(CtrCacheStale), st.StaleServed)
 	s.rec.Gauge(GaugeCacheBytes).Set(float64(st.Bytes))
+}
+
+// syncShedCounters mirrors the admission controller's shed tallies,
+// total plus the queue-full / deadline-expired split.
+func (s *Server) syncShedCounters() {
+	setCounter(s.rec.Counter(CtrShed), s.adm.Shed())
+	setCounter(s.rec.Counter(CtrShedFull), s.adm.ShedQueueFull())
+	setCounter(s.rec.Counter(CtrShedExpired), s.adm.ShedExpired())
+}
+
+// retryAfterHint suggests a client back-off for 503 responses: half the
+// request deadline, clamped to [1s, 30s], in whole seconds.
+func (s *Server) retryAfterHint() string {
+	secs := int64(s.cfg.Deadline / (2 * time.Second))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // setCounter raises c to total (counters are monotonic; the cache is the

@@ -159,12 +159,22 @@ func TestSaturatedReturns429WithinDeadline(t *testing.T) {
 	if srv.adm.Shed() == 0 {
 		t.Error("shed counter not incremented")
 	}
+	if srv.adm.ShedQueueFull() != 1 || srv.adm.ShedExpired() != 0 {
+		t.Errorf("shed split = (full %d, expired %d), want (1, 0)",
+			srv.adm.ShedQueueFull(), srv.adm.ShedExpired())
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("429 carries no Retry-After header")
+	}
 	if !strings.Contains(string(body), "saturated") {
 		t.Errorf("body %q does not mention saturation", body)
 	}
 }
 
-func TestQueuedRequestTimesOutAt429(t *testing.T) {
+// TestQueuedRequestTimesOutAt503 pins the shed-vs-deadline split at the
+// HTTP layer: a deadline that expires while queued is an overload signal
+// (503 + Retry-After), not a 429, and lands in the expired shed counter.
+func TestQueuedRequestTimesOutAt503(t *testing.T) {
 	srv, ts, _ := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 4, Deadline: 50 * time.Millisecond}, 100)
 	release, err := srv.adm.Enter(context.Background())
 	if err != nil {
@@ -173,12 +183,19 @@ func TestQueuedRequestTimesOutAt429(t *testing.T) {
 	defer release()
 
 	start := time.Now()
-	resp, _ := postJSON(t, ts.URL+"/v1/sample", sampleBody)
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	resp, body := postJSON(t, ts.URL+"/v1/sample", sampleBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("queued-expiry 503 carries no Retry-After header")
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Errorf("queued shed took %v, want about the 50ms deadline", elapsed)
+	}
+	if srv.adm.ShedExpired() != 1 || srv.adm.ShedQueueFull() != 0 {
+		t.Errorf("shed split = (full %d, expired %d), want (0, 1)",
+			srv.adm.ShedQueueFull(), srv.adm.ShedExpired())
 	}
 }
 

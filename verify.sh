@@ -13,5 +13,10 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/... ./internal/server/...
+go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/... ./internal/faults/... ./internal/server/...
+# Chaos smoke: the seeded fault-injection suite in short mode (12 seeds) —
+# goroutine leaks, admission slot leaks, cache accounting drift, and any
+# fault-corrupted response fail this line fast; the full 60-seed sweep
+# already ran under the -race line above.
+go test -race -run Chaos -short ./internal/...
 OBS_GUARD=1 go test -run TestObsOverheadGuard .
