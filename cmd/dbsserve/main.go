@@ -43,6 +43,7 @@ func main() {
 		retry      = flag.Int("retry", 2, "retries per build stage on transient dataset I/O failures (0 disables)")
 		stageWait  = flag.Duration("stage-timeout", 0, "per-attempt build stage timeout; blown stages retry under -retry (0 = request deadline only)")
 		staleOK    = flag.Bool("stale-ok", false, "serve stale cached artifacts (X-DBS-Cache: stale) when a rebuild fails")
+		driftTol   = flag.Float64("drift-tol", 0, "relative drift budget for incremental builds after appends (0 = always rebuild exactly)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 		Retry:        *retry,
 		StageTimeout: *stageWait,
 		StaleOK:      *staleOK,
+		DriftTol:     *driftTol,
 		Rec:          obs.New(),
 	})
 

@@ -247,14 +247,15 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 			}
 		}
 	} else {
-		// For in-memory datasets the densities computed by the
-		// normalization pass are cached (8 bytes per point — negligible
-		// next to the resident points) and reused by the coin-flip pass,
-		// halving the dominant cost of the exact algorithm. Density is a
-		// pure function of the point, so the cached and recomputed values
-		// are bit-identical and the sample is unchanged; streaming
-		// datasets keep the constant-memory recomputation.
-		if _, ok := ds.(*dataset.InMemory); ok {
+		// For memory-resident datasets (anything Sliceable, including the
+		// generation-pinned views the serving layer scans) the densities
+		// computed by the normalization pass are cached (8 bytes per point —
+		// negligible next to the resident points) and reused by the
+		// coin-flip pass, halving the dominant cost of the exact algorithm.
+		// Density is a pure function of the point, so the cached and
+		// recomputed values are bit-identical and the sample is unchanged;
+		// streaming datasets keep the constant-memory recomputation.
+		if _, ok := ds.(dataset.Sliceable); ok {
 			densCache = make([]float64, n)
 		}
 		nspan := rec.StartSpan("draw/normalize")

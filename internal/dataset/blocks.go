@@ -45,12 +45,14 @@ func (m *InMemory) AddPass() { m.passes.Add(1) }
 // AddPass charges one logical dataset pass.
 func (fb *FileBacked) AddPass() { fb.passes.Add(1) }
 
-// ScanRange implements RangeScanner over the backing slice.
+// ScanRange implements RangeScanner over the backing slice. The range is
+// resolved against the snapshot current at call time.
 func (m *InMemory) ScanRange(start, end int, fn func(p geom.Point) error) error {
-	if err := checkRange(start, end, len(m.pts)); err != nil {
+	pts := m.Points()
+	if err := checkRange(start, end, len(pts)); err != nil {
 		return err
 	}
-	for _, p := range m.pts[start:end] {
+	for _, p := range pts[start:end] {
 		if err := fn(p); err != nil {
 			if errors.Is(err, ErrStopScan) {
 				return nil
@@ -208,12 +210,16 @@ func ScanBlocksCfg(ds Dataset, cfg ScanConfig, fn func(block, start int, pts []g
 		}
 	}
 
-	if mem, ok := ds.(*InMemory); ok {
-		// Blocks are subslices of the backing array: zero copies.
-		pts := mem.pts
-		return stopToNil(parallel.BlocksCtxObs(cfg.Ctx, n, blockSize, parallelism, cfg.Rec, func(b, start, end int) error {
-			return fn(b, start, pts[start:end])
-		}))
+	if sl, ok := ds.(Sliceable); ok {
+		// Blocks are subslices of the resident array: zero copies. The
+		// slice is snapshotted once, so a concurrent append never changes
+		// the blocks this pass delivers. (InMemory and the generation-
+		// pinned views both take this path.)
+		if pts := sl.Points(); len(pts) >= n {
+			return stopToNil(parallel.BlocksCtxObs(cfg.Ctx, n, blockSize, parallelism, cfg.Rec, func(b, start, end int) error {
+				return fn(b, start, pts[start:end])
+			}))
+		}
 	}
 
 	if rs, ok := ds.(RangeScanner); ok {

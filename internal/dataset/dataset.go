@@ -15,6 +15,7 @@ package dataset
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/geom"
@@ -49,10 +50,28 @@ type Dataset interface {
 // InMemory is a Dataset backed by a point slice. The pass counter is
 // atomic, so concurrent scans of one shared InMemory (the serving layer
 // runs many requests over one registered dataset) are safe.
+//
+// InMemory is generational: Append publishes a new immutable snapshot of
+// (points, per-generation counts) through an atomic pointer, so scans that
+// started before an append keep reading the exact prefix they saw at
+// their start while new scans observe the grown dataset. Appends are
+// serialized against each other but never block readers.
 type InMemory struct {
-	pts    []geom.Point
 	dims   int
 	passes atomic.Int64
+
+	mu    sync.Mutex // serializes Append; readers never take it
+	state atomic.Pointer[memState]
+
+	fp fpMemo // incremental per-generation fingerprints
+}
+
+// memState is one immutable snapshot of an InMemory's contents. counts[g]
+// is the number of points visible at generation g; the points of
+// generation g are pts[:counts[g]].
+type memState struct {
+	pts    []geom.Point
+	counts []int
 }
 
 // NewInMemory wraps pts as a Dataset. The slice is retained, not copied;
@@ -63,15 +82,25 @@ func NewInMemory(pts []geom.Point) (*InMemory, error) {
 		return nil, errors.New("dataset: empty point set")
 	}
 	d := pts[0].Dims()
+	if err := checkPoints(pts, d); err != nil {
+		return nil, err
+	}
+	m := &InMemory{dims: d}
+	m.state.Store(&memState{pts: pts, counts: []int{len(pts)}})
+	return m, nil
+}
+
+// checkPoints validates dimensionality and finiteness of a point batch.
+func checkPoints(pts []geom.Point, dims int) error {
 	for i, p := range pts {
-		if p.Dims() != d {
-			return nil, fmt.Errorf("dataset: point %d has %d dims, want %d", i, p.Dims(), d)
+		if p.Dims() != dims {
+			return fmt.Errorf("dataset: point %d has %d dims, want %d", i, p.Dims(), dims)
 		}
 		if !p.IsFinite() {
-			return nil, fmt.Errorf("dataset: point %d has non-finite coordinates", i)
+			return fmt.Errorf("dataset: point %d has non-finite coordinates", i)
 		}
 	}
-	return &InMemory{pts: pts, dims: d}, nil
+	return nil
 }
 
 // MustInMemory is NewInMemory that panics on error, for tests and generators
@@ -84,10 +113,12 @@ func MustInMemory(pts []geom.Point) *InMemory {
 	return ds
 }
 
-// Scan implements Dataset.
+// Scan implements Dataset. The pass runs over the snapshot current when
+// it starts; a concurrent Append never changes the points it delivers.
 func (m *InMemory) Scan(fn func(p geom.Point) error) error {
 	m.passes.Add(1)
-	for _, p := range m.pts {
+	st := m.state.Load()
+	for _, p := range st.pts[:st.counts[len(st.counts)-1]] {
 		if err := fn(p); err != nil {
 			if errors.Is(err, ErrStopScan) {
 				return nil
@@ -99,7 +130,10 @@ func (m *InMemory) Scan(fn func(p geom.Point) error) error {
 }
 
 // Len implements Dataset.
-func (m *InMemory) Len() int { return len(m.pts) }
+func (m *InMemory) Len() int {
+	st := m.state.Load()
+	return st.counts[len(st.counts)-1]
+}
 
 // Dims implements Dataset.
 func (m *InMemory) Dims() int { return m.dims }
@@ -109,22 +143,63 @@ func (m *InMemory) Passes() int { return int(m.passes.Load()) }
 
 // Points exposes the backing slice for algorithms that have already paid
 // for materialization (e.g. clustering a sample). Callers must not mutate.
-func (m *InMemory) Points() []geom.Point { return m.pts }
+// The slice is the snapshot at call time; a later Append grows the dataset
+// but never the returned slice.
+func (m *InMemory) Points() []geom.Point {
+	st := m.state.Load()
+	return st.pts[:st.counts[len(st.counts)-1]]
+}
 
-// Append adds points to the dataset. Every appended point must match the
-// dataset's dimensionality and be finite; on error nothing is appended.
-// Not safe concurrently with scans.
+// Append adds points as a new generation. Every appended point must match
+// the dataset's dimensionality and be finite; on error nothing is
+// appended. Safe concurrently with scans: in-flight passes keep the
+// snapshot they started with, later ones see the grown dataset. Appended
+// points are retained, not copied; callers must not mutate them after.
 func (m *InMemory) Append(pts ...geom.Point) error {
-	for i, p := range pts {
-		if p.Dims() != m.dims {
-			return fmt.Errorf("dataset: append point %d has %d dims, want %d", i, p.Dims(), m.dims)
-		}
-		if !p.IsFinite() {
-			return fmt.Errorf("dataset: append point %d has non-finite coordinates", i)
-		}
+	if len(pts) == 0 {
+		return errors.New("dataset: empty append")
 	}
-	m.pts = append(m.pts, pts...)
+	if err := checkPoints(pts, m.dims); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.state.Load()
+	n := old.counts[len(old.counts)-1]
+	// Growing the backing array is safe even when it extends in place:
+	// readers of older snapshots never look past their own count.
+	merged := append(old.pts[:n], pts...)
+	counts := make([]int, len(old.counts)+1)
+	copy(counts, old.counts)
+	counts[len(old.counts)] = n + len(pts)
+	m.state.Store(&memState{pts: merged, counts: counts})
 	return nil
+}
+
+// Generation implements Appendable: generations count from 0 (creation),
+// +1 per Append.
+func (m *InMemory) Generation() uint64 {
+	return uint64(len(m.state.Load().counts) - 1)
+}
+
+// GenLen implements Appendable: the dataset length at generation g.
+// It panics when g exceeds the current generation.
+func (m *InMemory) GenLen(g uint64) int {
+	counts := m.state.Load().counts
+	if g >= uint64(len(counts)) {
+		panic(fmt.Sprintf("dataset: generation %d beyond current %d", g, len(counts)-1))
+	}
+	return counts[g]
+}
+
+// GenFingerprint implements Appendable: the content fingerprint of the
+// dataset as of generation g. The first call pays one pass over the data
+// up to g; each later generation extends the memoized digest state with
+// only the delta's rows, so fingerprinting after an append costs
+// O(|delta|), not O(n). The value equals Fingerprint over the same prefix
+// exactly.
+func (m *InMemory) GenFingerprint(g uint64, parallelism int) (uint64, error) {
+	return m.fp.at(m, g, parallelism)
 }
 
 // Collect materializes any Dataset into memory with one pass.

@@ -1,0 +1,292 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+// Appendable is a Dataset that grows in place and tracks its growth as
+// numbered generations: generation 0 is the contents at creation and each
+// Append advances the generation by one. The generation number, the
+// per-generation lengths, and the per-generation fingerprints let callers
+// pin a consistent prefix of a growing dataset (GenView) and key caches by
+// exact content (GenFingerprint) while appends continue underneath.
+type Appendable interface {
+	Dataset
+
+	// Append adds points as a new generation. Implementations must make
+	// the append atomic with respect to concurrent scans: an in-flight
+	// pass sees either the old or the new contents in full, never a torn
+	// intermediate state.
+	Append(pts ...geom.Point) error
+
+	// Generation returns the current generation number (0 at creation).
+	Generation() uint64
+
+	// GenLen returns the dataset length as of generation g. It panics
+	// when g exceeds the current generation.
+	GenLen(g uint64) int
+
+	// GenFingerprint returns the content fingerprint of the dataset as of
+	// generation g — identical to Fingerprint over the same prefix. The
+	// digest state is memoized, so after the first computation each new
+	// generation costs one pass over its delta only.
+	GenFingerprint(g uint64, parallelism int) (uint64, error)
+}
+
+// Interface conformance, checked at compile time.
+var (
+	_ Appendable   = (*InMemory)(nil)
+	_ Appendable   = (*SegmentFile)(nil)
+	_ Sliceable    = (*InMemory)(nil)
+	_ RangeScanner = (*window)(nil)
+	_ RangeScanner = (*SegmentFile)(nil)
+	_ Sliceable    = (*sliceWindow)(nil)
+	_ PassCounter  = (*window)(nil)
+)
+
+// Sliceable is implemented by datasets whose current points are resident
+// in one contiguous slice. Block scans use it for zero-copy blocks and the
+// exact sampler uses it to decide whether a density cache is affordable.
+// Points must return a stable snapshot: a concurrent append may grow the
+// dataset but never mutate or shrink a previously returned slice.
+type Sliceable interface {
+	Points() []geom.Point
+}
+
+// window is a frozen read-only view of the half-open index range
+// [start, end) of a range-scannable dataset. Scans of the window charge a
+// pass to the parent dataset (the view adds no storage of its own), and
+// Passes reports the parent's counter.
+type window struct {
+	src        Dataset
+	rs         RangeScanner
+	pc         PassCounter // nil when the parent does not track passes
+	start, end int
+}
+
+// sliceWindow is a window over a Sliceable parent: it pins the parent's
+// backing slice at construction so block scans stay zero-copy.
+type sliceWindow struct {
+	window
+	pts []geom.Point
+}
+
+// Points implements Sliceable over the pinned backing range.
+func (w *sliceWindow) Points() []geom.Point { return w.pts }
+
+// Window returns a read-only Dataset view of the half-open range
+// [start, end) of ds, which must implement RangeScanner. The view is
+// frozen: if ds grows afterwards the view still covers exactly the rows it
+// was created over. Views compose (a window of a window re-offsets), and a
+// view over a Sliceable parent is itself Sliceable, keeping the zero-copy
+// block-scan fast path.
+func Window(ds Dataset, start, end int) (Dataset, error) {
+	rs, ok := ds.(RangeScanner)
+	if !ok {
+		return nil, fmt.Errorf("dataset: Window requires a RangeScanner, got %T", ds)
+	}
+	if err := checkRange(start, end, ds.Len()); err != nil {
+		return nil, err
+	}
+	w := window{src: ds, rs: rs, start: start, end: end}
+	if pc, ok := ds.(PassCounter); ok {
+		w.pc = pc
+	}
+	if sl, ok := ds.(Sliceable); ok {
+		return &sliceWindow{window: w, pts: sl.Points()[start:end]}, nil
+	}
+	return &w, nil
+}
+
+// Scan implements Dataset: one pass over the window, charged to the
+// parent's pass counter.
+func (w *window) Scan(fn func(p geom.Point) error) error {
+	if w.pc != nil {
+		w.pc.AddPass()
+	}
+	return w.rs.ScanRange(w.start, w.end, fn)
+}
+
+// Len implements Dataset.
+func (w *window) Len() int { return w.end - w.start }
+
+// Dims implements Dataset.
+func (w *window) Dims() int { return w.src.Dims() }
+
+// Passes implements Dataset, reporting the parent's counter: the window
+// shares the parent's storage, so its passes are passes over the parent.
+func (w *window) Passes() int { return w.src.Passes() }
+
+// AddPass delegates the pass charge to the parent.
+func (w *window) AddPass() {
+	if w.pc != nil {
+		w.pc.AddPass()
+	}
+}
+
+// ScanRange implements RangeScanner, re-offset into the parent.
+func (w *window) ScanRange(start, end int, fn func(p geom.Point) error) error {
+	if err := checkRange(start, end, w.end-w.start); err != nil {
+		return err
+	}
+	return w.rs.ScanRange(w.start+start, w.start+end, fn)
+}
+
+// GenView returns a frozen view of a at generation g: exactly the points
+// the dataset held when generation g was current, regardless of appends
+// since. The serving layer pins every request to the generation it
+// admitted, so a request's passes are consistent even while the dataset
+// grows.
+func GenView(a Appendable, g uint64) (Dataset, error) {
+	if g > a.Generation() {
+		return nil, fmt.Errorf("dataset: generation %d beyond current %d", g, a.Generation())
+	}
+	return Window(a, 0, a.GenLen(g))
+}
+
+// DeltaView returns the points generation g added (g ≥ 1): the range
+// [GenLen(g-1), GenLen(g)). Delta builds scan it instead of the full
+// dataset.
+func DeltaView(a Appendable, g uint64) (Dataset, error) {
+	if g == 0 {
+		return nil, errors.New("dataset: generation 0 has no delta")
+	}
+	if g > a.Generation() {
+		return nil, fmt.Errorf("dataset: generation %d beyond current %d", g, a.Generation())
+	}
+	return Window(a, a.GenLen(g-1), a.GenLen(g))
+}
+
+// fpMemo incrementally maintains the blocked-FNV digest state behind
+// Fingerprint so each generation's fingerprint is computed from the prior
+// state plus the delta rows alone. The per-block digests use the same
+// global block layout Fingerprint uses; the last digest may cover a
+// partial block, and because FNV-1a is resumable within a block, the next
+// advance continues it where it stopped instead of re-reading the tail.
+// The finalized value is therefore bit-identical to Fingerprint over the
+// same prefix — content-addressed, so a dataset re-registered whole and
+// one grown to the same contents by appends share cache keys.
+type fpMemo struct {
+	mu    sync.Mutex
+	fps   []uint64 // finalized fingerprint per generation
+	sums  []uint64 // per-block FNV digests; last entry may be partial
+	count int      // rows folded into sums so far
+}
+
+// at returns the fingerprint of a at generation g, advancing and
+// memoizing the digest state as needed. Each advance consumes one pass
+// over the not-yet-digested rows only.
+func (m *fpMemo) at(a Appendable, g uint64, parallelism int) (uint64, error) {
+	if g > a.Generation() {
+		return 0, fmt.Errorf("dataset: generation %d beyond current %d", g, a.Generation())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for uint64(len(m.fps)) <= g {
+		j := uint64(len(m.fps))
+		target := a.GenLen(j)
+		if err := m.advance(a, target, parallelism); err != nil {
+			return 0, err
+		}
+		m.fps = append(m.fps, finalizeFingerprint(a.Dims(), target, m.sums))
+	}
+	return m.fps[g], nil
+}
+
+// advance folds rows [m.count, target) into the digest state. The head of
+// the range resumes the current partial block sequentially; the remainder
+// starts on a block boundary, so its window blocks coincide with global
+// blocks and can be digested in parallel.
+func (m *fpMemo) advance(a Appendable, target, parallelism int) error {
+	if m.count >= target {
+		return nil
+	}
+	dims := a.Dims()
+	rowSize := 8 * dims
+	blockSize := parallel.BlockSize(0)
+
+	if m.count%blockSize != 0 {
+		// Resume the partial tail block in sequence, up to its boundary.
+		headEnd := (m.count/blockSize + 1) * blockSize
+		if headEnd > target {
+			headEnd = target
+		}
+		w, err := Window(a, m.count, headEnd)
+		if err != nil {
+			return err
+		}
+		h := m.sums[len(m.sums)-1]
+		m.sums = m.sums[:len(m.sums)-1]
+		buf := make([]byte, rowSize)
+		err = w.Scan(func(p geom.Point) error {
+			for j, v := range p {
+				binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(v))
+			}
+			h = fnv1a(h, buf)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		m.sums = append(m.sums, h)
+		m.count = headEnd
+		if m.count == target {
+			return nil
+		}
+	}
+
+	// m.count is now block-aligned: the window's blocks are the global
+	// blocks, so the parallel blocked digest applies unchanged.
+	w, err := Window(a, m.count, target)
+	if err != nil {
+		return err
+	}
+	firstBlock := m.count / blockSize
+	blockSums := make([]uint64, parallel.NumBlocks(target-m.count, blockSize))
+	err = ScanBlocks(w, blockSize, parallelism, func(block, start int, pts []geom.Point) error {
+		h := uint64(fnvOffset64)
+		buf := make([]byte, rowSize)
+		for _, p := range pts {
+			for j, v := range p {
+				binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(v))
+			}
+			h = fnv1a(h, buf)
+		}
+		blockSums[block] = h
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if need := firstBlock + len(blockSums); cap(m.sums) < need {
+		grown := make([]uint64, len(m.sums), need)
+		copy(grown, m.sums)
+		m.sums = grown
+	}
+	m.sums = append(m.sums[:firstBlock], blockSums...)
+	m.count = target
+	return nil
+}
+
+// finalizeFingerprint chains the header and per-block digests exactly the
+// way Fingerprint does.
+func finalizeFingerprint(dims, count int, sums []uint64) uint64 {
+	hdr := make([]byte, 16)
+	copy(hdr, binaryMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(dims))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(count))
+	h := fnv1a(fnvOffset64, hdr)
+	var b [8]byte
+	for _, bh := range sums {
+		binary.LittleEndian.PutUint64(b[:], bh)
+		h = fnv1a(h, b[:])
+	}
+	return h
+}

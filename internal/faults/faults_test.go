@@ -229,3 +229,65 @@ func TestCallbackErrorsPassThrough(t *testing.T) {
 		t.Fatalf("err = %v, want boom or injected", err)
 	}
 }
+
+// TestWrapOverAppendable: the wrapper is a pass-through view of a
+// growing dataset. After the underlying dataset appends a generation,
+// the wrapped handle reports the new length and a clean scan delivers
+// every row — old and new — while faulted scans keep the
+// never-silently-short contract. Windows cut over the wrapper (how the
+// serving layer pins a generation) scan through the injection point too.
+func TestWrapOverAppendable(t *testing.T) {
+	ds := testData(t, 40)
+	w := Wrap(ds, New(Config{Seed: 11, PPartial: 0.5}).Point("scan"))
+
+	extra := make([]geom.Point, 20)
+	for i := range extra {
+		extra[i] = geom.Point{float64(100 + i), 0}
+	}
+	if err := ds.Append(extra...); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 60 {
+		t.Fatalf("wrapped len = %d after append, want 60", w.Len())
+	}
+
+	sawClean, sawFault := false, false
+	for i := 0; i < 50 && !(sawClean && sawFault); i++ {
+		seen := 0
+		err := w.Scan(func(geom.Point) error { seen++; return nil })
+		switch {
+		case err == nil:
+			if seen != 60 {
+				t.Fatalf("iter %d: nil error with %d/60 rows — silent truncation over appended data", i, seen)
+			}
+			sawClean = true
+		case errors.Is(err, ErrInjected):
+			sawFault = true
+		default:
+			t.Fatalf("iter %d: unexpected error %v", i, err)
+		}
+	}
+	if !sawClean || !sawFault {
+		t.Fatalf("schedule never produced both outcomes (clean=%v fault=%v)", sawClean, sawFault)
+	}
+
+	// A delta window over the wrapper: range scans hit the injection
+	// point, and a clean pass sees exactly the appended rows.
+	win, err := dataset.Window(w, 40, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		var got []geom.Point
+		err := win.Scan(func(p geom.Point) error { got = append(got, p); return nil })
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("iter %d: unexpected error %v", i, err)
+			}
+			continue
+		}
+		if len(got) != 20 || !got[0].Equal(extra[0]) || !got[19].Equal(extra[19]) {
+			t.Fatalf("iter %d: clean delta scan got %d rows", i, len(got))
+		}
+	}
+}

@@ -94,6 +94,10 @@ type Estimator struct {
 	// invScale caches their reciprocals.
 	scale    []float64
 	invScale []float64
+	// adaptiveK and buildPar remember the construction parameters so
+	// Extend can rebuild the tree and adaptive scales the same way.
+	adaptiveK int
+	buildPar  int
 	// Observability counter handles (nil when no Recorder is attached —
 	// the batch evaluation paths test cKernelEvals to pick the counting
 	// variant, so the disabled hot path is unchanged).
@@ -262,15 +266,17 @@ func newEstimator(kern Kernel, centers []geom.Point, h []float64, n int, adaptiv
 		invH[j] = 1 / v
 	}
 	e := &Estimator{
-		kernel:   kern,
-		centers:  centers,
-		h:        h,
-		weight:   float64(n) / float64(len(centers)),
-		n:        n,
-		dims:     d,
-		reach:    math.Sqrt(reach2),
-		boxReach: boxReach,
-		invH:     invH,
+		kernel:    kern,
+		centers:   centers,
+		h:         h,
+		weight:    float64(n) / float64(len(centers)),
+		n:         n,
+		dims:      d,
+		reach:     math.Sqrt(reach2),
+		boxReach:  boxReach,
+		invH:      invH,
+		adaptiveK: adaptiveK,
+		buildPar:  parallelism,
 	}
 	e.tree = kdtree.Build(centers)
 	if adaptiveK > 0 && len(centers) > 1 {
@@ -322,6 +328,42 @@ func (e *Estimator) applyAdaptiveScales(k, parallelism int) {
 	for j := range e.boxReach {
 		e.boxReach[j] *= maxScale
 	}
+}
+
+// Extend returns a new estimator over a dataset grown to n points: e's
+// kernel set plus deltaCenters, with the per-kernel mass rescaled to
+// n / (ks + len(deltaCenters)). The per-dimension Scott's-rule bandwidths
+// are inherited from e — a deliberate approximation that keeps the extend
+// O(ks' log ks') (only the kd-tree over the merged centers is rebuilt, and
+// the adaptive per-center scales are recomputed against the merged tree);
+// the bandwidth drift this introduces is part of the drift budget the
+// incremental sampler tracks (DESIGN.md §5e).
+//
+// e itself is unchanged — estimators are immutable once built, which is
+// what lets the serving layer extend a cached artifact that concurrent
+// requests are still reading. deltaCenters are cloned; observability
+// counter handles are carried over.
+func (e *Estimator) Extend(deltaCenters []geom.Point, n int) (*Estimator, error) {
+	if n <= 0 {
+		return nil, errors.New("kde: non-positive dataset size")
+	}
+	merged := make([]geom.Point, 0, len(e.centers)+len(deltaCenters))
+	merged = append(merged, e.centers...)
+	for i, c := range deltaCenters {
+		if c.Dims() != e.dims {
+			return nil, fmt.Errorf("kde: delta center %d has %d dims, want %d", i, c.Dims(), e.dims)
+		}
+		if !c.IsFinite() {
+			return nil, fmt.Errorf("kde: delta center %d has non-finite coordinates", i)
+		}
+		merged = append(merged, c.Clone())
+	}
+	ne, err := newEstimator(e.kernel, merged, append([]float64(nil), e.h...), n, e.adaptiveK, e.buildPar)
+	if err != nil {
+		return nil, err
+	}
+	ne.cKernelEvals, ne.cKDVisited, ne.cKDPruned = e.cKernelEvals, e.cKDVisited, e.cKDPruned
+	return ne, nil
 }
 
 // N returns the dataset size the estimator represents (its total integral).

@@ -145,13 +145,18 @@ func TestCacheCounterConservation(t *testing.T) {
 	}()
 	<-entered
 	// Join the in-flight build from several waiters; all of them will
-	// see the failure.
+	// see the failure. A waiter's build function must be callable: the
+	// lookups poll below races with the map lookup (Lookups increments
+	// first), so a waiter that arrives after the failed build's cleanup
+	// removed the key legally takes the build path itself — it must then
+	// produce the same miss/boom outcome, not dereference nil.
 	const waiters = 4
 	for i := 0; i < waiters; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, out, err := c.GetOrBuild("k", nil); !errors.Is(err, boom) || out != OutcomeMiss {
+			lateBuild := func() (any, int64, error) { return nil, 0, boom }
+			if _, out, err := c.GetOrBuild("k", lateBuild); !errors.Is(err, boom) || out != OutcomeMiss {
 				t.Errorf("waiter: out=%v err=%v, want miss/boom", out, err)
 			}
 		}()

@@ -193,6 +193,11 @@ func (f *flakyDataset) ScanRange(start, end int, fn func(p geom.Point) error) er
 	return f.InMemory.ScanRange(start, end, fn)
 }
 
+// Points shadows the promoted Sliceable method with a different signature
+// so block scans take the ScanRange path (the fault site) instead of the
+// zero-copy slice fast path.
+func (f *flakyDataset) Points(struct{}) {}
+
 // TestChaosStaleServe pins graceful degradation end to end: an artifact
 // evicted from the primary cache is served from the stale ring — flagged
 // in X-DBS-Cache, byte-identical to the original — when its rebuild

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cure"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/kde"
 	"repro/internal/obs"
@@ -25,6 +26,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/append", s.compute("/v1/datasets/append", s.handleAppend))
 	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleRemoveDataset)
 	s.mux.HandleFunc("POST /v1/sample", s.compute("/v1/sample", s.handleSample))
 	s.mux.HandleFunc("POST /v1/cluster", s.compute("/v1/cluster", s.handleCluster))
@@ -239,6 +241,116 @@ func (s *Server) registerFail(w http.ResponseWriter, err error) {
 	s.fail(w, code, "%v", err)
 }
 
+// appendRequest is the JSON body of /v1/datasets/{name}/append. The
+// endpoint also accepts text/csv and application/octet-stream (DBS1)
+// bodies, mirroring dataset registration.
+type appendRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+type appendResponse struct {
+	Name        string `json:"name"`
+	Generation  uint64 `json:"generation"`
+	Points      int    `json:"points"`
+	Added       int    `json:"added"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// decodeAppendBody parses an append payload in any of the upload formats.
+func decodeAppendBody(r *http.Request) ([]geom.Point, error) {
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	switch ct {
+	case "", "application/json":
+		var req appendRequest
+		if err := decodeJSON(r, &req); err != nil {
+			return nil, err
+		}
+		if len(req.Points) == 0 {
+			return nil, errors.New("empty points")
+		}
+		pts := make([]geom.Point, len(req.Points))
+		for i, row := range req.Points {
+			pts[i] = geom.Point(row)
+		}
+		return pts, nil
+	case "application/octet-stream", "text/csv":
+		body := http.MaxBytesReader(nil, r.Body, 1<<30)
+		var (
+			ds  *dataset.InMemory
+			err error
+		)
+		if ct == "text/csv" {
+			ds, err = dataset.ReadCSV(body)
+		} else {
+			ds, err = dataset.ReadBinary(body)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return ds.Points(), nil
+	default:
+		return nil, fmt.Errorf("unsupported Content-Type %q", ct)
+	}
+}
+
+// handleAppend grows a registered appendable dataset by one generation.
+// The append is atomic with respect to concurrent requests: in-flight
+// ones keep the generation they pinned at admission, later ones see (and
+// cache-key by) the new generation. Responds 409 when the dataset cannot
+// grow (an immutable DBS1 file registration).
+func (s *Server) handleAppend(ctx context.Context, rec *obs.Recorder, w http.ResponseWriter, r *http.Request) {
+	span := rec.StartSpan("server/append")
+	defer span.End()
+	name := r.PathValue("name")
+	h, err := s.reg.Acquire(name)
+	if err != nil {
+		s.acquireFail(w, err)
+		return
+	}
+	defer h.Release()
+	app := h.Appendable()
+	if app == nil {
+		s.fail(w, http.StatusConflict, "dataset %q is not appendable", name)
+		return
+	}
+	pts, err := decodeAppendBody(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "parsing append body: %v", err)
+		return
+	}
+	aerr := s.runStage(ctx, rec, "server/append", faults.SiteHash(name), func(sctx context.Context) error {
+		if ferr := s.pAppend.Check(sctx); ferr != nil {
+			return ferr
+		}
+		// Append either fully applies or fully rolls back (both backing
+		// types guarantee it), so a retry after an injected fault never
+		// double-appends: the fault fires before the append runs.
+		return app.Append(pts...)
+	})
+	if aerr != nil {
+		s.pipelineFail(w, aerr)
+		return
+	}
+	gen := app.Generation()
+	// One pass over the delta: the fingerprint memo extends its digest
+	// state instead of rehashing the prefix.
+	fp, ferr := h.FingerprintAt(gen)
+	if ferr != nil {
+		s.pipelineFail(w, ferr)
+		return
+	}
+	span.AddPoints(int64(len(pts)))
+	rec.Counter(obs.CtrAppends).Inc()
+	rec.Counter(obs.CtrAppendPoints).Add(int64(len(pts)))
+	writeJSON(w, http.StatusOK, appendResponse{
+		Name:        name,
+		Generation:  gen,
+		Points:      app.GenLen(gen),
+		Added:       len(pts),
+		Fingerprint: fmt.Sprintf("%016x", fp),
+	})
+}
+
 func (s *Server) handleRemoveDataset(w http.ResponseWriter, r *http.Request) {
 	s.rec.Counter(CtrRequests).Inc()
 	if err := s.reg.Remove(r.PathValue("name")); err != nil {
@@ -288,50 +400,150 @@ func seedStreams(seed uint64) (estRNG, drawRNG *stats.RNG) {
 	return st[0], st[1]
 }
 
-// estimator returns the cached KDE estimator for (dataset, params, seed),
-// building it on miss. Cached estimators hold the server-level recorder
-// (attached once at build — a shared artifact must not point at any single
-// request's recorder), so their kernel-evaluation counters aggregate
-// across requests.
+// exactAt reports whether generation g of h must be built exactly (a full
+// build over the generation's view) rather than extended from generation
+// g-1. The decision is core.RebuildSchedule over the generation lengths —
+// a pure function of (lengths, DriftTol), so every replica, and a replica
+// restarted mid-lineage, schedules the same way. With DriftTol ≤ 0 (the
+// default) everything is exact and incremental builds never run.
+func (s *Server) exactAt(h *Handle, g uint64) bool {
+	if g == 0 || h.Appendable() == nil || s.cfg.DriftTol <= 0 {
+		return true
+	}
+	counts := make([]int, g+1)
+	for j := range counts {
+		counts[j] = h.GenLen(uint64(j))
+	}
+	return core.RebuildSchedule(counts, s.cfg.DriftTol)[g]
+}
+
+// genSeed decorrelates an incremental stage's randomness from the base
+// builds and from other generations; stages re-derive it per retry
+// attempt, so a retried stage reproduces its result exactly.
+func genSeed(seed, g uint64, stage string) uint64 {
+	return seed ^ faults.SiteHash(fmt.Sprintf("gen/%d/%s", g, stage))
+}
+
+// estimator returns the cached KDE estimator for the handle's pinned
+// generation, building (or delta-extending) it on miss.
 func (s *Server) estimator(ctx context.Context, rec *obs.Recorder, h *Handle, p estParams) (*kde.Estimator, Outcome, error) {
-	fp, err := h.Fingerprint()
+	return s.estimatorAt(ctx, rec, h, p, h.Generation())
+}
+
+// estimatorAt returns the cached KDE estimator for (generation g of the
+// dataset, params, seed), building it on miss. The cache key is the
+// generation's content fingerprint, so artifacts of superseded
+// generations age out of the LRU naturally while requests that pinned
+// them still hit. On an incremental miss (exactAt false) the estimator is
+// built from the prior generation's — recursively, so a cold chain
+// rebuilds from the last exact generation — with work proportional to the
+// delta, not the dataset. Cached estimators hold the server-level
+// recorder (attached once at build — a shared artifact must not point at
+// any single request's recorder), so their kernel-evaluation counters
+// aggregate across requests.
+func (s *Server) estimatorAt(ctx context.Context, rec *obs.Recorder, h *Handle, p estParams, g uint64) (*kde.Estimator, Outcome, error) {
+	fp, err := h.FingerprintAt(g)
 	if err != nil {
 		return nil, OutcomeMiss, err
 	}
 	v, out, err := s.cache.GetOrBuild(p.key(fp), func() (any, int64, error) {
-		var est *kde.Estimator
-		berr := s.runStage(ctx, rec, "server/build/est", p.Seed, func(sctx context.Context) error {
-			if ferr := s.pEst.Check(sctx); ferr != nil {
-				return ferr
-			}
-			s.rec.Counter(CtrKDEBuilds).Inc()
-			// The RNG stream is re-derived per attempt, so a retried
-			// build produces the identical estimator.
-			estRNG, _ := seedStreams(p.Seed)
-			e, berr := kde.Build(h.Dataset(), kde.Options{
-				NumKernels:  p.Kernels,
-				Kernel:      kde.KernelByName(p.Kernel),
-				Parallelism: s.cfg.Parallelism,
-				Ctx:         sctx,
-				Obs:         rec,
-			}, estRNG)
-			if berr != nil {
-				return berr
-			}
-			est = e
-			return nil
-		})
-		if berr != nil {
-			return nil, 0, berr
+		if s.exactAt(h, g) {
+			return s.buildEstimator(ctx, rec, h, p, g)
 		}
-		est.SetRecorder(s.rec)
-		return est, estimatorBytes(est), nil
+		return s.extendEstimator(ctx, rec, h, p, g)
 	})
 	s.syncCacheCounters()
 	if err != nil {
 		return nil, out, err
 	}
 	return v.(*kde.Estimator), out, nil
+}
+
+// buildEstimator runs the full estimator build over generation g's view.
+// The RNG derivation matches a non-generational build exactly, so the
+// artifact (and its cache key) is bit-identical to what a server that saw
+// the same points registered whole would build.
+func (s *Server) buildEstimator(ctx context.Context, rec *obs.Recorder, h *Handle, p estParams, g uint64) (any, int64, error) {
+	view, err := h.ViewAt(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	var est *kde.Estimator
+	berr := s.runStage(ctx, rec, "server/build/est", p.Seed, func(sctx context.Context) error {
+		if ferr := s.pEst.Check(sctx); ferr != nil {
+			return ferr
+		}
+		s.rec.Counter(CtrKDEBuilds).Inc()
+		// The RNG stream is re-derived per attempt, so a retried
+		// build produces the identical estimator.
+		estRNG, _ := seedStreams(p.Seed)
+		e, berr := kde.Build(view, kde.Options{
+			NumKernels:  p.Kernels,
+			Kernel:      kde.KernelByName(p.Kernel),
+			Parallelism: s.cfg.Parallelism,
+			Ctx:         sctx,
+			Obs:         rec,
+		}, estRNG)
+		if berr != nil {
+			return berr
+		}
+		est = e
+		return nil
+	})
+	if berr != nil {
+		return nil, 0, berr
+	}
+	est.SetRecorder(s.rec)
+	return est, estimatorBytes(est), nil
+}
+
+// extendEstimator builds generation g's estimator from generation g-1's:
+// reservoir-pick centers from the delta (keeping the prior
+// centers-per-point rate) and extend the prior estimator with them. One
+// pass over the delta; no pass over the prior prefix.
+func (s *Server) extendEstimator(ctx context.Context, rec *obs.Recorder, h *Handle, p estParams, g uint64) (any, int64, error) {
+	prior, _, err := s.estimatorAt(ctx, rec, h, p, g-1)
+	if err != nil {
+		return nil, 0, err
+	}
+	delta, err := h.DeltaAt(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	var est *kde.Estimator
+	berr := s.runStage(ctx, rec, "server/build/est_delta", p.Seed, func(sctx context.Context) error {
+		if ferr := s.pEstDelta.Check(sctx); ferr != nil {
+			return ferr
+		}
+		s.rec.Counter(CtrKDEBuilds).Inc()
+		dk := int(math.Round(float64(prior.NumKernels()) * float64(delta.Len()) / float64(h.GenLen(g-1))))
+		if dk < 1 {
+			dk = 1
+		}
+		if dk > prior.NumKernels() {
+			dk = prior.NumKernels()
+		}
+		if dk > delta.Len() {
+			dk = delta.Len()
+		}
+		rng := stats.NewRNG(genSeed(p.Seed, g, "est"))
+		centers, rerr := dataset.Reservoir(delta, dk, rng)
+		if rerr != nil {
+			return rerr
+		}
+		e, xerr := prior.Extend(centers, h.GenLen(g))
+		if xerr != nil {
+			return xerr
+		}
+		rec.Counter(obs.CtrKDEExtends).Inc()
+		est = e
+		return nil
+	})
+	if berr != nil {
+		return nil, 0, berr
+	}
+	est.SetRecorder(s.rec)
+	return est, estimatorBytes(est), nil
 }
 
 // estimatorBytes approximates an estimator's resident size for the cache
@@ -379,51 +591,137 @@ func (q sampleRequest) key(fp uint64, p estParams) string {
 		p.key(fp), hexFloat(q.Alpha), q.Size, q.OnePass)
 }
 
-// drawSample returns the cached sample artifact for the request, running
-// the pipeline (estimator + pass 1/2) on miss. On a hit no dataset pass
-// runs at all.
+// sampleArtifact is what the sample cache stores: the sample plus the
+// normalizer bookkeeping (core.NormState) a later generation needs to
+// extend it incrementally.
+type sampleArtifact struct {
+	s  *core.Sample
+	ns core.NormState
+}
+
+// drawSample returns the cached sample for the handle's pinned
+// generation, running the pipeline (estimator + pass 1/2) on miss. On a
+// hit no dataset pass runs at all.
 func (s *Server) drawSample(ctx context.Context, rec *obs.Recorder, h *Handle, q sampleRequest, p estParams) (*core.Sample, Outcome, error) {
-	fp, err := h.Fingerprint()
+	art, out, err := s.sampleAt(ctx, rec, h, q, p, h.Generation())
+	if err != nil {
+		return nil, out, err
+	}
+	return art.s, out, nil
+}
+
+// sampleAt returns the cached sample artifact for generation g, keyed by
+// the generation's content fingerprint. An incremental miss (exactAt
+// false) extends the prior generation's artifact with passes over the
+// delta only, so an append-then-sample on a warm cache costs O(|delta|)
+// regardless of the dataset size. OnePass requests are always built
+// exactly — they already integrate everything into a single pass and the
+// incremental math needs the exact normalizer lineage.
+func (s *Server) sampleAt(ctx context.Context, rec *obs.Recorder, h *Handle, q sampleRequest, p estParams, g uint64) (*sampleArtifact, Outcome, error) {
+	fp, err := h.FingerprintAt(g)
 	if err != nil {
 		return nil, OutcomeMiss, err
 	}
 	v, out, err := s.cache.GetOrBuild(q.key(fp, p), func() (any, int64, error) {
-		// The estimator stage retries internally, so only the draw runs
-		// under this stage's retry budget — no multiplicative retries.
-		est, _, eerr := s.estimator(ctx, rec, h, p)
-		if eerr != nil {
-			return nil, 0, eerr
+		if q.OnePass || s.exactAt(h, g) {
+			return s.buildSample(ctx, rec, h, q, p, g)
 		}
-		var sm *core.Sample
-		derr := s.runStage(ctx, rec, "server/build/sample", p.Seed, func(sctx context.Context) error {
-			if ferr := s.pSample.Check(sctx); ferr != nil {
-				return ferr
-			}
-			_, drawRNG := seedStreams(p.Seed)
-			m, derr := core.Draw(h.Dataset(), est, core.Options{
-				Alpha:       q.Alpha,
-				TargetSize:  q.Size,
-				OnePass:     q.OnePass,
-				Parallelism: s.cfg.Parallelism,
-				Ctx:         sctx,
-				Obs:         rec,
-			}, drawRNG)
-			if derr != nil {
-				return derr
-			}
-			sm = m
-			return nil
-		})
-		if derr != nil {
-			return nil, 0, derr
-		}
-		return sm, sampleBytes(sm), nil
+		return s.extendSample(ctx, rec, h, q, p, g)
 	})
 	s.syncCacheCounters()
 	if err != nil {
 		return nil, out, err
 	}
-	return v.(*core.Sample), out, nil
+	return v.(*sampleArtifact), out, nil
+}
+
+// buildSample runs the full two-pass draw over generation g's view, with
+// the same RNG derivation as a non-generational build — the response is
+// bit-identical to a server that saw the same points registered whole.
+func (s *Server) buildSample(ctx context.Context, rec *obs.Recorder, h *Handle, q sampleRequest, p estParams, g uint64) (any, int64, error) {
+	view, err := h.ViewAt(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	// The estimator stage retries internally, so only the draw runs
+	// under this stage's retry budget — no multiplicative retries.
+	est, _, eerr := s.estimatorAt(ctx, rec, h, p, g)
+	if eerr != nil {
+		return nil, 0, eerr
+	}
+	var sm *core.Sample
+	derr := s.runStage(ctx, rec, "server/build/sample", p.Seed, func(sctx context.Context) error {
+		if ferr := s.pSample.Check(sctx); ferr != nil {
+			return ferr
+		}
+		_, drawRNG := seedStreams(p.Seed)
+		m, derr := core.Draw(view, est, core.Options{
+			Alpha:       q.Alpha,
+			TargetSize:  q.Size,
+			OnePass:     q.OnePass,
+			Parallelism: s.cfg.Parallelism,
+			Ctx:         sctx,
+			Obs:         rec,
+		}, drawRNG)
+		if derr != nil {
+			return derr
+		}
+		sm = m
+		return nil
+	})
+	if derr != nil {
+		return nil, 0, derr
+	}
+	ns := core.NormState{K: sm.Norm, N: view.Len(), Kernels: est.NumKernels()}
+	return &sampleArtifact{s: sm, ns: ns}, sampleBytes(sm), nil
+}
+
+// extendSample extends generation g-1's cached sample to generation g:
+// the (recursively obtained) prior artifact is thinned and the delta
+// coin-flipped against the updated normalizer — two passes over the
+// delta, none over the prior prefix (core.ExtendDraw).
+func (s *Server) extendSample(ctx context.Context, rec *obs.Recorder, h *Handle, q sampleRequest, p estParams, g uint64) (any, int64, error) {
+	prior, _, err := s.sampleAt(ctx, rec, h, q, p, g-1)
+	if err != nil {
+		return nil, 0, err
+	}
+	est, _, eerr := s.estimatorAt(ctx, rec, h, p, g)
+	if eerr != nil {
+		return nil, 0, eerr
+	}
+	view, verr := h.ViewAt(g)
+	if verr != nil {
+		return nil, 0, verr
+	}
+	var sm *core.Sample
+	var ns core.NormState
+	derr := s.runStage(ctx, rec, "server/build/sample_delta", p.Seed, func(sctx context.Context) error {
+		if ferr := s.pSampleDelta.Check(sctx); ferr != nil {
+			return ferr
+		}
+		drawRNG := stats.NewRNG(genSeed(p.Seed, g, "draw"))
+		m, nss, derr := core.ExtendDraw(view, est, core.ExtendOptions{
+			Options: core.Options{
+				Alpha:       q.Alpha,
+				TargetSize:  q.Size,
+				Parallelism: s.cfg.Parallelism,
+				Ctx:         sctx,
+				Obs:         rec,
+			},
+			DeltaStart: h.GenLen(g - 1),
+			Prior:      prior.s,
+			PriorNorm:  prior.ns,
+		}, drawRNG)
+		if derr != nil {
+			return derr
+		}
+		sm, ns = m, nss
+		return nil
+	})
+	if derr != nil {
+		return nil, 0, derr
+	}
+	return &sampleArtifact{s: sm, ns: ns}, sampleBytes(sm), nil
 }
 
 type samplePoint struct {

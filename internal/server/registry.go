@@ -107,13 +107,23 @@ func (r *Registry) add(e *regEntry) error {
 // Handle is a ref-counted lease on a registered dataset. Release it when
 // the request is done; the dataset and its cached fingerprint stay valid
 // for the handle's lifetime even if the name is removed concurrently.
+//
+// For appendable datasets the handle pins the generation current at
+// Acquire: Dataset returns a frozen view of exactly that generation's
+// points and Fingerprint the matching content fingerprint, so a request
+// admitted before an append computes over — and cache-keys by — a
+// consistent snapshot even while the dataset grows underneath it.
 type Handle struct {
 	r *Registry
 	e *regEntry
+
+	ds  dataset.Dataset    // generation-pinned view (or the raw dataset)
+	gen uint64             // pinned generation; 0 for non-appendable
+	app dataset.Appendable // nil when the dataset cannot grow
 }
 
 // Acquire resolves name, lazily opening path-backed entries, and returns a
-// leased handle.
+// leased handle pinned to the dataset's current generation.
 func (r *Registry) Acquire(name string) (*Handle, error) {
 	r.mu.Lock()
 	e, ok := r.entries[name]
@@ -126,7 +136,9 @@ func (r *Registry) Acquire(name string) (*Handle, error) {
 
 	e.openMu.Lock()
 	if e.ds == nil {
-		ds, err := dataset.OpenFile(e.path)
+		// Open sniffs the magic, so a path registration may point at
+		// either the immutable DBS1 format or the appendable DBS2 one.
+		ds, err := dataset.Open(e.path)
 		if err != nil {
 			e.openMu.Unlock()
 			r.release(e)
@@ -135,18 +147,75 @@ func (r *Registry) Acquire(name string) (*Handle, error) {
 		e.ds = ds
 	}
 	e.openMu.Unlock()
-	return &Handle{r: r, e: e}, nil
+
+	h := &Handle{r: r, e: e, ds: e.ds}
+	if app, ok := e.ds.(dataset.Appendable); ok {
+		gen := app.Generation()
+		view, err := dataset.GenView(app, gen)
+		if err == nil {
+			h.ds, h.gen, h.app = view, gen, app
+		}
+	}
+	return h, nil
 }
 
-// Dataset returns the leased dataset.
-func (h *Handle) Dataset() dataset.Dataset { return h.e.ds }
+// Dataset returns the leased dataset: for appendable datasets a frozen
+// view of the generation pinned at Acquire.
+func (h *Handle) Dataset() dataset.Dataset { return h.ds }
 
 // Name returns the registered name.
 func (h *Handle) Name() string { return h.e.name }
 
-// Fingerprint returns the dataset's content fingerprint, computing it on
-// first use (one dataset pass) and caching it for the entry's lifetime.
-func (h *Handle) Fingerprint() (uint64, error) {
+// Appendable returns the underlying growable dataset, or nil when the
+// leased dataset cannot grow.
+func (h *Handle) Appendable() dataset.Appendable { return h.app }
+
+// Generation returns the generation pinned at Acquire (0 for
+// non-appendable datasets).
+func (h *Handle) Generation() uint64 { return h.gen }
+
+// GenLen returns the dataset length at generation g ≤ the pinned one.
+func (h *Handle) GenLen(g uint64) int {
+	if h.app == nil {
+		return h.ds.Len()
+	}
+	return h.app.GenLen(g)
+}
+
+// ViewAt returns a frozen view of generation g ≤ the pinned one.
+func (h *Handle) ViewAt(g uint64) (dataset.Dataset, error) {
+	if h.app == nil {
+		if g != 0 {
+			return nil, fmt.Errorf("server: dataset %q has no generation %d", h.e.name, g)
+		}
+		return h.ds, nil
+	}
+	return dataset.GenView(h.app, g)
+}
+
+// DeltaAt returns the points generation g ≥ 1 added.
+func (h *Handle) DeltaAt(g uint64) (dataset.Dataset, error) {
+	if h.app == nil {
+		return nil, fmt.Errorf("server: dataset %q is not appendable", h.e.name)
+	}
+	return dataset.DeltaView(h.app, g)
+}
+
+// Fingerprint returns the content fingerprint of the pinned generation.
+func (h *Handle) Fingerprint() (uint64, error) { return h.FingerprintAt(h.gen) }
+
+// FingerprintAt returns the content fingerprint of generation g. For
+// appendable datasets the per-generation digest memo makes each new
+// generation cost one pass over its delta only; the value is keyed by
+// generation, so — unlike the entry-lifetime memo non-appendable datasets
+// use — it can never serve a fingerprint staled by an append. For
+// non-appendable datasets the fingerprint is computed once (one dataset
+// pass) and cached for the entry's lifetime, which is sound because the
+// contents can never change.
+func (h *Handle) FingerprintAt(g uint64) (uint64, error) {
+	if h.app != nil {
+		return h.app.GenFingerprint(g, h.r.parallelism)
+	}
 	e := h.e
 	e.openMu.Lock()
 	defer e.openMu.Unlock()
@@ -200,6 +269,11 @@ type DatasetInfo struct {
 	// Dims and Points are known once the dataset has been opened.
 	Dims   int `json:"dims,omitempty"`
 	Points int `json:"points,omitempty"`
+	// Appendable and Generation describe growable datasets: whether
+	// /v1/datasets/{name}/append will accept points, and how many appends
+	// the dataset has absorbed so far.
+	Appendable bool   `json:"appendable,omitempty"`
+	Generation uint64 `json:"generation,omitempty"`
 	// Fingerprint is the hex content fingerprint, once computed.
 	Fingerprint string `json:"fingerprint,omitempty"`
 }
@@ -227,6 +301,10 @@ func (r *Registry) List() []DatasetInfo {
 			info.Open = true
 			info.Dims = e.ds.Dims()
 			info.Points = e.ds.Len()
+			if app, ok := e.ds.(dataset.Appendable); ok {
+				info.Appendable = true
+				info.Generation = app.Generation()
+			}
 		}
 		if e.fpDone {
 			info.Fingerprint = fmt.Sprintf("%016x", e.fp)

@@ -69,6 +69,15 @@ type Config struct {
 	// byte budget as the cache) and serves one — flagged via
 	// X-DBS-Cache: stale — when its rebuild fails.
 	StaleOK bool
+	// DriftTol is the relative drift budget for incremental builds after
+	// appends. 0 (the default) means every generation is sampled exactly
+	// — append-then-sample rebuilds from scratch and responses are
+	// bit-for-bit those of a server that never saw the appends. A
+	// positive tolerance lets a generation's sample be extended from the
+	// prior generation's cached artifact with passes over the delta only,
+	// until the accumulated drift Σ m_g/n_g exceeds the tolerance and an
+	// exact rebuild resets the budget (core.RebuildSchedule).
+	DriftTol float64
 	// Faults injects scheduled faults into the build stages (chaos
 	// tests and experiments; nil injects nothing).
 	Faults *faults.Injector
@@ -119,10 +128,13 @@ type Server struct {
 	rec   *obs.Recorder
 	mux   *http.ServeMux
 
-	// Fault-injection points guarding the two build stages; nil (the
-	// usual case) injects nothing.
-	pEst    *faults.Point
-	pSample *faults.Point
+	// Fault-injection points guarding the build stages and the append
+	// path; nil (the usual case) injects nothing.
+	pEst         *faults.Point
+	pSample      *faults.Point
+	pEstDelta    *faults.Point
+	pSampleDelta *faults.Point
+	pAppend      *faults.Point
 
 	latMu sync.Mutex
 	lat   map[string]*latRing
@@ -136,15 +148,18 @@ func New(cfg Config) *Server {
 		staleBytes = cfg.CacheBytes
 	}
 	s := &Server{
-		cfg:     cfg,
-		reg:     NewRegistry(cfg.Parallelism),
-		cache:   NewCache(cfg.CacheBytes, staleBytes),
-		adm:     NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
-		rec:     cfg.Rec,
-		mux:     http.NewServeMux(),
-		lat:     make(map[string]*latRing),
-		pEst:    cfg.Faults.Point("server/build/est"),
-		pSample: cfg.Faults.Point("server/build/sample"),
+		cfg:          cfg,
+		reg:          NewRegistry(cfg.Parallelism),
+		cache:        NewCache(cfg.CacheBytes, staleBytes),
+		adm:          NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		rec:          cfg.Rec,
+		mux:          http.NewServeMux(),
+		lat:          make(map[string]*latRing),
+		pEst:         cfg.Faults.Point("server/build/est"),
+		pSample:      cfg.Faults.Point("server/build/sample"),
+		pEstDelta:    cfg.Faults.Point("server/build/est_delta"),
+		pSampleDelta: cfg.Faults.Point("server/build/sample_delta"),
+		pAppend:      cfg.Faults.Point("server/append"),
 	}
 	s.routes()
 	return s

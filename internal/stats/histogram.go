@@ -63,14 +63,29 @@ func (h *Histogram) String() string {
 
 // Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
 // interpolation between order statistics. xs is not modified.
+//
+// NaN observations are ignored: they carry no order information, and
+// letting them sort (NaNs order before everything) would silently shift
+// every order statistic — the healthz latency digest would report a
+// too-low p99 forever after one bad observation. An all-NaN input
+// returns NaN, the honest "no data" answer for a slice that is not
+// empty but contains no usable values.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Quantile of empty slice")
 	}
-	if q < 0 || q > 1 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
 		panic("stats: Quantile out of [0,1]")
 	}
-	s := append([]float64(nil), xs...)
+	s := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			s = append(s, x)
+		}
+	}
+	if len(s) == 0 {
+		return math.NaN()
+	}
 	sort.Float64s(s)
 	if len(s) == 1 {
 		return s[0]

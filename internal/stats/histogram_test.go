@@ -72,6 +72,58 @@ func TestQuantileSingleton(t *testing.T) {
 	}
 }
 
+// TestQuantileEdges is the edge audit for the inputs the healthz latency
+// ring and the density-floor heuristic can feed Quantile: extreme q,
+// single observations, and NaN-bearing slices (a NaN must not displace
+// real order statistics — the regression the NaN filter guards against).
+func TestQuantileEdges(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"q=0 min", []float64{3, 1, 2}, 0, 1},
+		{"q=1 max", []float64{3, 1, 2}, 1, 3},
+		{"q=1 single", []float64{42}, 1, 42},
+		{"q=0 single", []float64{42}, 0, 42},
+		{"two-element interpolation", []float64{10, 20}, 0.25, 12.5},
+		{"nan ignored low q", []float64{nan, 5, 1, 3}, 0, 1},
+		{"nan ignored high q", []float64{5, nan, 1, 3}, 1, 5},
+		{"nan ignored median", []float64{nan, nan, 7}, 0.5, 7},
+		{"negative values", []float64{-3, -1, -2}, 0.5, -2},
+	}
+	for _, c := range cases {
+		if got := Quantile(c.xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Quantile(%v, %v) = %v, want %v", c.name, c.xs, c.q, got, c.want)
+		}
+	}
+	// All-NaN: not empty, but no usable values — NaN, not a panic and
+	// not an arbitrary element.
+	if got := Quantile([]float64{nan, nan}, 0.5); !math.IsNaN(got) {
+		t.Errorf("all-NaN quantile = %v, want NaN", got)
+	}
+	for _, q := range []float64{-0.1, 1.1, nan} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(q=%v) should panic", q)
+				}
+			}()
+			Quantile([]float64{1, 2}, q)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Quantile(empty) should panic")
+			}
+		}()
+		Quantile(nil, 0.5)
+	}()
+}
+
 func TestMeanHelper(t *testing.T) {
 	if Mean(nil) != 0 {
 		t.Error("Mean(nil) != 0")

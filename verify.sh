@@ -13,10 +13,14 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/... ./internal/faults/... ./internal/server/...
+go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/... ./internal/faults/... ./internal/server/... ./internal/dataset/...
 # Chaos smoke: the seeded fault-injection suite in short mode (12 seeds) —
 # goroutine leaks, admission slot leaks, cache accounting drift, and any
 # fault-corrupted response fail this line fast; the full 60-seed sweep
 # already ran under the -race line above.
 go test -race -run Chaos -short ./internal/...
+# Incremental-ingestion smoke: chaos plus the append/generation suite
+# (stale-fingerprint regression, O(|delta|) pass accounting, tau=0
+# bit-for-bit parity) under the race detector.
+go test -race -run 'Chaos|Append' -short ./internal/server/
 OBS_GUARD=1 go test -run TestObsOverheadGuard .
