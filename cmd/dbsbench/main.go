@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // benchDoc is the BENCH_*.json document -json emits: the environment the
@@ -35,6 +36,7 @@ type benchEnv struct {
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
+	BlockSize  int    `json:"block_size"`
 	Quick      bool   `json:"quick,omitempty"`
 }
 
@@ -79,6 +81,7 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		BlockSize:  parallel.DefaultBlockSize,
 		Quick:      *quick,
 	}}
 	for _, id := range ids {

@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +42,7 @@ func main() {
 		kernels = flag.Int("kernels", kde.DefaultNumKernels, "number of kernels")
 		trim    = flag.Bool("trim", true, "enable CURE noise-trim phases")
 		assign  = flag.String("assign", "", "write full-dataset labels to this file (cure only)")
+		prec    = flag.String("precision", "float64", "density evaluation arithmetic: float64 (exact contract) | float32 (faster, approximate)")
 		par     = flag.Int("p", 0, "worker parallelism: 0 = all CPUs, 1 = serial (same clustering either way)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		obsf    obs.Flags
@@ -60,9 +62,18 @@ func main() {
 	// leaving a long scan running to completion.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	ds, err := dataset.OpenFile(*in)
+	precision, err := parsePrecision(*prec)
 	if err != nil {
 		fatal("%v", err)
+	}
+	// Open sniffs the format: DBS1 files decode block-by-block, DBS2
+	// segment files are memory-mapped and scanned zero-copy.
+	ds, err := dataset.Open(*in)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if c, ok := ds.(io.Closer); ok {
+		defer c.Close()
 	}
 	rng := stats.NewRNG(*seed)
 
@@ -83,6 +94,7 @@ func main() {
 			Alpha:       *alpha,
 			TargetSize:  *size,
 			Parallelism: *par,
+			Precision:   precision,
 			Ctx:         ctx,
 			Obs:         run.Rec,
 			Progress:    run.ProgressFunc("sampling"),
@@ -188,6 +200,16 @@ func writeAssignments(ds dataset.Dataset, clusters []cure.Cluster, path string) 
 		return err
 	}
 	return f.Close()
+}
+
+func parsePrecision(s string) (core.Precision, error) {
+	switch s {
+	case "float64", "":
+		return core.Float64, nil
+	case "float32":
+		return core.Float32, nil
+	}
+	return core.Float64, fmt.Errorf("unknown -precision %q (want float64 or float32)", s)
 }
 
 func fatal(format string, args ...interface{}) {

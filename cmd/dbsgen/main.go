@@ -35,6 +35,7 @@ func main() {
 		out    = flag.String("out", "", "output file (binary format); required")
 		labels = flag.String("labels", "", "optional sidecar file for ground-truth labels")
 		csv    = flag.Bool("csv", false, "write CSV instead of binary")
+		seg    = flag.Bool("segmented", false, "write the appendable segmented format (DBS2) instead of DBS1; segmented files are served zero-copy via mmap")
 		outl   = flag.Int("outliers", 0, "plant this many isolated outliers")
 		obsf   obs.Flags
 	)
@@ -75,20 +76,33 @@ func main() {
 	}
 
 	ds := l.Dataset()
-	f, err := os.Create(*out)
-	if err != nil {
-		fatal("%v", err)
+	if *csv && *seg {
+		fatal("-csv and -segmented are mutually exclusive")
 	}
-	if *csv {
-		err = dataset.WriteCSV(f, ds)
+	if *seg {
+		sf, err := dataset.CreateSegmented(*out, ds)
+		if err == nil {
+			err = sf.Close()
+		}
+		if err != nil {
+			fatal("writing %s: %v", *out, err)
+		}
 	} else {
-		err = dataset.WriteBinary(f, ds)
-	}
-	if err == nil {
-		err = f.Close()
-	}
-	if err != nil {
-		fatal("writing %s: %v", *out, err)
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *csv {
+			err = dataset.WriteCSV(f, ds)
+		} else {
+			err = dataset.WriteBinary(f, ds)
+		}
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fatal("writing %s: %v", *out, err)
+		}
 	}
 
 	if *labels != "" {

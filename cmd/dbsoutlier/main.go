@@ -14,6 +14,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,9 +54,14 @@ func main() {
 	// leaving a long pass running to completion.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	ds, err := dataset.OpenFile(*in)
+	// Open sniffs the format: DBS1 files decode block-by-block, DBS2
+	// segment files are memory-mapped and scanned zero-copy.
+	ds, err := dataset.Open(*in)
 	if err != nil {
 		fatal("%v", err)
+	}
+	if c, ok := ds.(io.Closer); ok {
+		defer c.Close()
 	}
 	var prm outlier.Params
 	switch {

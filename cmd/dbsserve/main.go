@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -44,15 +45,21 @@ func main() {
 		stageWait  = flag.Duration("stage-timeout", 0, "per-attempt build stage timeout; blown stages retry under -retry (0 = request deadline only)")
 		staleOK    = flag.Bool("stale-ok", false, "serve stale cached artifacts (X-DBS-Cache: stale) when a rebuild fails")
 		driftTol   = flag.Float64("drift-tol", 0, "relative drift budget for incremental builds after appends (0 = always rebuild exactly)")
+		prec       = flag.String("precision", "float64", "server-wide density evaluation arithmetic: float64 (exact contract) | float32 (faster, approximate); cache keys are unaffected")
 	)
 	flag.Parse()
 
+	precision, err := parsePrecision(*prec)
+	if err != nil {
+		fatal("%v", err)
+	}
 	cache := *cacheBytes
 	if cache == 0 {
 		cache = -1 // Config treats negative as disabled, zero as default.
 	}
 	srv := server.New(server.Config{
 		Parallelism:  *par,
+		Precision:    precision,
 		CacheBytes:   cache,
 		MaxInFlight:  *maxInFl,
 		MaxQueue:     *maxQueue,
@@ -96,6 +103,16 @@ func main() {
 		fatal("shutdown: %v", err)
 	}
 	fmt.Fprintln(os.Stderr, "dbsserve: drained")
+}
+
+func parsePrecision(s string) (core.Precision, error) {
+	switch s {
+	case "float64", "":
+		return core.Float64, nil
+	case "float32":
+		return core.Float32, nil
+	}
+	return core.Float64, fmt.Errorf("unknown -precision %q (want float64 or float32)", s)
 }
 
 func fatal(format string, args ...interface{}) {

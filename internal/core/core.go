@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
@@ -60,6 +61,22 @@ type DensityBatcher interface {
 	DensityBatch(pts []geom.Point, out []float64)
 }
 
+// ColumnarDensityBatcher is optionally implemented by estimators that can
+// consume a block's column view directly (kde.Estimator does). At float64
+// the results must be bit-identical to DensityBatch over the same points —
+// the parity contract Options.Layout relies on.
+type ColumnarDensityBatcher interface {
+	DensityBatchCols(cols [][]float64, out []float64)
+}
+
+// ColumnarDensityBatcher32 is the float32 evaluation path behind
+// Options.Precision: column input, single-precision kernel arithmetic,
+// widened results. Implementations may fall back to float64 when they have
+// no single-precision engine for their kernel.
+type ColumnarDensityBatcher32 interface {
+	DensityBatchCols32(cols [][]float64, out []float64)
+}
+
 // evalDensities fills out[:len(pts)] with est's density at each point,
 // through the batch interface when available.
 func evalDensities(est DensityEstimator, pts []geom.Point, out []float64) {
@@ -72,6 +89,123 @@ func evalDensities(est DensityEstimator, pts []geom.Point, out []float64) {
 	}
 }
 
+// evalDensitiesLayout routes one block's density evaluation: the column
+// view (when the scan produced one and the estimator consumes it) with the
+// requested precision, the row batch otherwise. Estimators without any
+// batch interface fall back to per-point Density in index order.
+func evalDensitiesLayout(est DensityEstimator, pts []geom.Point, cols [][]float64, prec Precision, out []float64) {
+	if cols != nil {
+		if prec == Float32 {
+			if b, ok := est.(ColumnarDensityBatcher32); ok {
+				b.DensityBatchCols32(cols, out)
+				return
+			}
+		}
+		if b, ok := est.(ColumnarDensityBatcher); ok {
+			b.DensityBatchCols(cols, out)
+			return
+		}
+	}
+	evalDensities(est, pts, out)
+}
+
+// scanBlocksLayout runs one pass over ds delivering blocks in the
+// requested layout: the columnar scan hands fn the transposed column slab
+// next to the row view, the row scan hands cols == nil. Block boundaries,
+// ordering, and pass accounting are identical either way.
+func scanBlocksLayout(ds dataset.Dataset, cfg dataset.ScanConfig, layout Layout, fn func(block, start int, pts []geom.Point, cols [][]float64) error) error {
+	if layout == LayoutRow {
+		return dataset.ScanBlocksCfg(ds, cfg, func(block, start int, pts []geom.Point) error {
+			return fn(block, start, pts, nil)
+		})
+	}
+	return dataset.ScanBlocksCols(ds, cfg, func(b dataset.Block) error {
+		return fn(b.Index, b.Start, b.Points, b.Cols)
+	})
+}
+
+// coinScratch is the pooled per-block working set of the fused
+// density→power→coin pass: a density/weight buffer and the (index, prob)
+// pairs of the block's selected points, recorded before any allocation so
+// the selection loop touches nothing but scratch.
+type coinScratch struct {
+	dens  []float64
+	idx   []int32
+	probs []float64
+}
+
+var coinScratchPool = sync.Pool{New: func() interface{} { return new(coinScratch) }}
+
+func getCoinScratch(n int) *coinScratch {
+	sc := coinScratchPool.Get().(*coinScratch)
+	if cap(sc.dens) < n {
+		sc.dens = make([]float64, n)
+		sc.idx = make([]int32, n)
+		sc.probs = make([]float64, n)
+	}
+	sc.dens = sc.dens[:n]
+	sc.idx = sc.idx[:n]
+	sc.probs = sc.probs[:n]
+	return sc
+}
+
+// sampleArena hands out exactly-sized WeightedPoint segments and
+// coordinate slabs carved from shared chunks, replacing the per-point
+// Clone of selected points. Chunks are append-only: growing the arena
+// allocates a fresh chunk and previously carved segments stay valid (the
+// GC keeps old chunks alive through them). One mutex-guarded bump per
+// block, two allocations per chunk — amortized, zero allocations per
+// block in steady state.
+type sampleArena struct {
+	mu     sync.Mutex
+	dims   int
+	wps    []dataset.WeightedPoint
+	coords []float64
+}
+
+const arenaChunk = 1024
+
+func (a *sampleArena) alloc(k int) ([]dataset.WeightedPoint, []float64) {
+	if k == 0 {
+		return nil, nil
+	}
+	a.mu.Lock()
+	if k > cap(a.wps)-len(a.wps) {
+		size := arenaChunk
+		if k > size {
+			size = k
+		}
+		a.wps = make([]dataset.WeightedPoint, 0, size)
+	}
+	wps := a.wps[len(a.wps) : len(a.wps)+k : len(a.wps)+k]
+	a.wps = a.wps[:len(a.wps)+k]
+	cs := k * a.dims
+	if cs > cap(a.coords)-len(a.coords) {
+		size := arenaChunk * a.dims
+		if cs > size {
+			size = cs
+		}
+		a.coords = make([]float64, 0, size)
+	}
+	coords := a.coords[len(a.coords) : len(a.coords)+cs : len(a.coords)+cs]
+	a.coords = a.coords[:len(a.coords)+cs]
+	a.mu.Unlock()
+	return wps, coords
+}
+
+// fillBlockSample copies the selected points of one block out of the scan
+// buffer into arena-carved storage and builds their weighted entries.
+func fillBlockSample(arena *sampleArena, pts []geom.Point, sc *coinScratch, count int) []dataset.WeightedPoint {
+	wps, coords := arena.alloc(count)
+	d := arena.dims
+	for k := 0; k < count; k++ {
+		dst := coords[k*d : (k+1)*d : (k+1)*d]
+		copy(dst, pts[sc.idx[k]])
+		wps[k] = dataset.WeightedPoint{P: geom.Point(dst), W: 1 / sc.probs[k]}
+	}
+	return wps
+}
+
 // centersEstimator is optionally implemented by estimators that expose
 // their own construction sample (kernel centers) and represented size; the
 // one-pass variant uses it to approximate the normalizer k_a without an
@@ -80,6 +214,37 @@ type centersEstimator interface {
 	Centers() []geom.Point
 	N() int
 }
+
+// Layout selects which view of each scan block the density evaluation
+// consumes.
+type Layout int
+
+const (
+	// LayoutColumnar (the default) evaluates densities over the block's
+	// column view: D contiguous coordinate slices per block, the layout
+	// the fused kernel in internal/kde is built around. At Float64 the
+	// results are bit-identical to LayoutRow — proven by parity tests —
+	// so the choice is a performance knob, not part of a run's identity.
+	LayoutColumnar Layout = iota
+	// LayoutRow evaluates densities over the row view, the reference path.
+	LayoutRow
+)
+
+// Precision selects the floating-point width of the density kernel.
+type Precision int
+
+const (
+	// Float64 (the default) evaluates densities in double precision; the
+	// deterministic bit-for-bit contracts hold at this setting.
+	Float64 Precision = iota
+	// Float32 evaluates the density kernel in single precision over the
+	// columnar layout, trading a bounded relative density error (see
+	// DESIGN.md, "Memory layout & zero-copy scans") for halved memory
+	// bandwidth. Results remain deterministic — identical at every
+	// Parallelism and across repeated runs — but are not bit-equal to
+	// Float64 runs. Requires LayoutColumnar.
+	Float32
+)
 
 // Options configure one biased-sampling run.
 type Options struct {
@@ -123,6 +288,17 @@ type Options struct {
 	// changes which points are drawn, while changing Parallelism never
 	// does.
 	BlockSize int
+
+	// Layout selects the row or columnar density-evaluation path. Like
+	// Parallelism — and unlike BlockSize — it is NOT part of the run's
+	// identity: at Float64 both layouts draw byte-identical samples.
+	Layout Layout
+
+	// Precision selects the kernel's floating-point width. Float32 needs
+	// the columnar layout and changes density values within the documented
+	// error bound (and therefore which points are drawn); Float64 keeps
+	// every bit-for-bit guarantee.
+	Precision Precision
 
 	// Obs, when non-nil, records the run: span timings for the
 	// normalization and coin-flip passes, the counter catalogue (points
@@ -213,6 +389,9 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 	if floor < 0 {
 		return nil, errors.New("core: negative FloorDensity")
 	}
+	if opts.Precision == Float32 && opts.Layout == LayoutRow {
+		return nil, errors.New("core: Float32 requires the columnar layout")
+	}
 	if floor == 0 {
 		floor = defaultFloor(est)
 	}
@@ -222,7 +401,7 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 	defer span.End()
 
 	var norm float64
-	var densCache []float64
+	var weightCache []float64
 	passes := 0
 	if opts.OnePass {
 		ce, ok := est.(centersEstimator)
@@ -236,7 +415,7 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 		}
 		if opts.VerifyNorm && rec != nil {
 			vspan := rec.StartSpan("draw/verify_norm")
-			exact, verr := exactNorm(opts.Ctx, ds, est, opts.Alpha, floor, opts.Parallelism, opts.BlockSize, nil, rec, nil)
+			exact, verr := exactNorm(opts.Ctx, ds, est, opts, floor, nil, rec, nil)
 			vspan.AddPoints(int64(n))
 			vspan.End()
 			if verr != nil {
@@ -247,20 +426,22 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 			}
 		}
 	} else {
-		// For memory-resident datasets (anything Sliceable, including the
-		// generation-pinned views the serving layer scans) the densities
-		// computed by the normalization pass are cached (8 bytes per point —
-		// negligible next to the resident points) and reused by the
-		// coin-flip pass, halving the dominant cost of the exact algorithm.
-		// Density is a pure function of the point, so the cached and
-		// recomputed values are bit-identical and the sample is unchanged;
-		// streaming datasets keep the constant-memory recomputation.
-		if _, ok := ds.(dataset.Sliceable); ok {
-			densCache = make([]float64, n)
+		// For memory-resident datasets (anything Sliceable whose snapshot
+		// covers the scan, including generation-pinned views and mapped
+		// segment files) the biased weights f'(x)^a computed by the
+		// normalization pass are cached (8 bytes per point — negligible
+		// next to the resident points) and reused by the coin-flip pass,
+		// halving the dominant cost of the exact algorithm and hoisting the
+		// power out of the coin loop. The weight is a pure function of the
+		// point, so cached and recomputed values are bit-identical and the
+		// sample is unchanged; streaming datasets keep the constant-memory
+		// recomputation.
+		if sl, ok := ds.(dataset.Sliceable); ok && len(sl.Points()) >= n {
+			weightCache = make([]float64, n)
 		}
 		nspan := rec.StartSpan("draw/normalize")
 		var err error
-		norm, err = exactNorm(opts.Ctx, ds, est, opts.Alpha, floor, opts.Parallelism, opts.BlockSize, densCache, rec, opts.Progress)
+		norm, err = exactNorm(opts.Ctx, ds, est, opts, floor, weightCache, rec, opts.Progress)
 		nspan.AddPoints(int64(n))
 		nspan.End()
 		if err != nil {
@@ -274,46 +455,56 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 
 	blockSize := parallel.BlockSize(opts.BlockSize)
 	numBlocks := parallel.NumBlocks(n, blockSize)
-	streams := rng.Splits(numBlocks)
+	streams := rng.SplitsValues(numBlocks, nil)
 
 	type blockSample struct {
 		points    []dataset.WeightedPoint
 		saturated int
 	}
 	perBlock := make([]blockSample, numBlocks)
+	arena := &sampleArena{dims: ds.Dims()}
 	b := float64(opts.TargetSize)
 	sspan := rec.StartSpan("draw/sample")
 	cCoins := rec.Counter(obs.CtrCoinFlips)
 	cSat := rec.Counter(obs.CtrSaturated)
-	err := dataset.ScanBlocksCfg(ds, dataset.ScanConfig{
+	err := scanBlocksLayout(ds, dataset.ScanConfig{
 		BlockSize:   blockSize,
 		Parallelism: opts.Parallelism,
 		Ctx:         opts.Ctx,
 		Rec:         rec,
 		Progress:    opts.Progress,
-	}, func(block, start int, pts []geom.Point) error {
-		var dens []float64
-		if densCache != nil {
-			dens = densCache[start : start+len(pts)]
+	}, opts.Layout, func(block, start int, pts []geom.Point, cols [][]float64) error {
+		// The fused pass: evaluate (or fetch) the biased weights, flip the
+		// block's coins recording (index, prob) pairs in pooled scratch,
+		// then carve exactly-sized storage for the selections from the
+		// shared arena — no per-point Clone, no per-block allocation.
+		sc := getCoinScratch(len(pts))
+		defer coinScratchPool.Put(sc)
+		var weights []float64
+		if weightCache != nil {
+			weights = weightCache[start : start+len(pts)]
 		} else {
-			dens = make([]float64, len(pts))
-			evalDensities(est, pts, dens)
+			weights = sc.dens
+			evalDensitiesLayout(est, pts, cols, opts.Precision, weights)
+			for i, f := range weights {
+				weights[i] = biasedWeight(f, opts.Alpha, floor)
+			}
 		}
-		brng := streams[block]
-		var sel []dataset.WeightedPoint
-		sat := 0
-		for i, p := range pts {
-			fp := biasedWeight(dens[i], opts.Alpha, floor)
-			prob := b * fp / norm
+		brng := &streams[block]
+		count, sat := 0, 0
+		for i := range pts {
+			prob := b * weights[i] / norm
 			if prob >= 1 {
 				prob = 1
 				sat++
 			}
 			if brng.Bernoulli(prob) {
-				sel = append(sel, dataset.WeightedPoint{P: p.Clone(), W: 1 / prob})
+				sc.idx[count] = int32(i)
+				sc.probs[count] = prob
+				count++
 			}
 		}
-		perBlock[block] = blockSample{points: sel, saturated: sat}
+		perBlock[block] = blockSample{points: fillBlockSample(arena, pts, sc, count), saturated: sat}
 		cCoins.Add(int64(len(pts)))
 		cSat.Add(int64(sat))
 		return nil
@@ -358,39 +549,46 @@ func ExactNorm(ds dataset.Dataset, est DensityEstimator, alpha, floor float64) (
 // completion-order or atomic reduction would make k_a depend on goroutine
 // scheduling).
 func ExactNormParallel(ds dataset.Dataset, est DensityEstimator, alpha, floor float64, parallelism, blockSize int) (float64, error) {
-	return exactNorm(nil, ds, est, alpha, floor, parallelism, blockSize, nil, nil, nil)
+	return exactNorm(nil, ds, est, Options{Alpha: alpha, Parallelism: parallelism, BlockSize: blockSize}, floor, nil, nil, nil)
 }
 
-// exactNorm is ExactNormParallel with an optional density cache: when
-// cache is non-nil (length ds.Len()), each block stores its raw densities
-// at the block's global offset so a later pass can reuse them. Blocks
-// write disjoint ranges, so the cache needs no synchronization. rec and
-// progress, when non-nil, observe the scan (see Options.Obs/Progress);
-// neither influences the sum. ctx, when non-nil, cancels per block.
-func exactNorm(ctx context.Context, ds dataset.Dataset, est DensityEstimator, alpha, floor float64, parallelism, blockSize int, cache []float64, rec *obs.Recorder, progress func(done, total int)) (float64, error) {
+// exactNorm is ExactNormParallel with an optional weight cache: when cache
+// is non-nil (length ds.Len()), each block stores its biased weights
+// f'(x)^a at the block's global offset so the coin pass can reuse them
+// without re-evaluating densities or powers. Blocks write disjoint ranges,
+// so the cache needs no synchronization. Evaluation routes through the
+// layout and precision in opts; rec and progress, when non-nil, observe
+// the scan (see Options.Obs/Progress) and never influence the sum. ctx,
+// when non-nil, cancels per block.
+func exactNorm(ctx context.Context, ds dataset.Dataset, est DensityEstimator, opts Options, floor float64, cache []float64, rec *obs.Recorder, progress func(done, total int)) (float64, error) {
 	if est == nil {
 		return 0, errors.New("core: nil density estimator")
 	}
 	n := ds.Len()
-	blockSize = parallel.BlockSize(blockSize)
+	blockSize := parallel.BlockSize(opts.BlockSize)
 	partials := make([]float64, parallel.NumBlocks(n, blockSize))
-	err := dataset.ScanBlocksCfg(ds, dataset.ScanConfig{
+	err := scanBlocksLayout(ds, dataset.ScanConfig{
 		BlockSize:   blockSize,
-		Parallelism: parallelism,
+		Parallelism: opts.Parallelism,
 		Ctx:         ctx,
 		Rec:         rec,
 		Progress:    progress,
-	}, func(block, start int, pts []geom.Point) error {
+	}, opts.Layout, func(block, start int, pts []geom.Point, cols [][]float64) error {
 		var dens []float64
+		var sc *coinScratch
 		if cache != nil {
 			dens = cache[start : start+len(pts)]
 		} else {
-			dens = make([]float64, len(pts))
+			sc = getCoinScratch(len(pts))
+			defer coinScratchPool.Put(sc)
+			dens = sc.dens
 		}
-		evalDensities(est, pts, dens)
+		evalDensitiesLayout(est, pts, cols, opts.Precision, dens)
 		var k float64
-		for _, f := range dens {
-			k += biasedWeight(f, alpha, floor)
+		for i, f := range dens {
+			w := biasedWeight(f, opts.Alpha, floor)
+			dens[i] = w
+			k += w
 		}
 		partials[block] = k
 		return nil

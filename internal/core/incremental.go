@@ -127,6 +127,9 @@ func ExtendDraw(ds dataset.Dataset, est DensityEstimator, opts ExtendOptions, rn
 	if floor < 0 {
 		return nil, zero, errors.New("core: negative FloorDensity")
 	}
+	if opts.Precision == Float32 && opts.Layout == LayoutRow {
+		return nil, zero, errors.New("core: Float32 requires the columnar layout")
+	}
 	if floor == 0 {
 		floor = defaultFloor(est)
 	}
@@ -140,14 +143,14 @@ func ExtendDraw(ds dataset.Dataset, est DensityEstimator, opts ExtendOptions, rn
 		return nil, zero, err
 	}
 
-	// Pass 1 over the delta: D = Σ_{delta} f'(x)^a, with the densities
-	// cached for the coin pass when the delta is memory-resident.
-	var densCache []float64
-	if _, ok := w.(dataset.Sliceable); ok {
-		densCache = make([]float64, m)
+	// Pass 1 over the delta: D = Σ_{delta} f'(x)^a, with the biased
+	// weights cached for the coin pass when the delta is memory-resident.
+	var weightCache []float64
+	if sl, ok := w.(dataset.Sliceable); ok && len(sl.Points()) >= m {
+		weightCache = make([]float64, m)
 	}
 	nspan := rec.StartSpan("extend_draw/normalize")
-	d, err := exactNorm(opts.Ctx, w, est, opts.Alpha, floor, opts.Parallelism, opts.BlockSize, densCache, rec, opts.Progress)
+	d, err := exactNorm(opts.Ctx, w, est, opts.Options, floor, weightCache, rec, opts.Progress)
 	nspan.AddPoints(int64(m))
 	nspan.End()
 	if err != nil {
@@ -175,14 +178,14 @@ func ExtendDraw(ds dataset.Dataset, est DensityEstimator, opts ExtendOptions, rn
 
 	blockSize := parallel.BlockSize(opts.BlockSize)
 	numBlocks := parallel.NumBlocks(m, blockSize)
-	streams := rng.Splits(1 + numBlocks)
+	streams := rng.SplitsValues(1+numBlocks, nil)
 
 	// Thin the prior sample sequentially from its own stream: each kept
 	// point's inclusion probability shrinks by r, so its inverse-
 	// probability weight grows by 1/r.
 	cCoins := rec.Counter(obs.CtrCoinFlips)
 	tspan := rec.StartSpan("extend_draw/thin")
-	thin := streams[0]
+	thin := &streams[0]
 	kept := make([]dataset.WeightedPoint, 0, len(opts.Prior.Points))
 	for _, wp := range opts.Prior.Points {
 		if thin.Bernoulli(r) {
@@ -198,38 +201,46 @@ func ExtendDraw(ds dataset.Dataset, est DensityEstimator, opts ExtendOptions, rn
 		saturated int
 	}
 	perBlock := make([]blockSample, numBlocks)
+	arena := &sampleArena{dims: ds.Dims()}
 	b := float64(opts.TargetSize)
 	cSat := rec.Counter(obs.CtrSaturated)
 	sspan := rec.StartSpan("extend_draw/sample")
-	err = dataset.ScanBlocksCfg(w, dataset.ScanConfig{
+	err = scanBlocksLayout(w, dataset.ScanConfig{
 		BlockSize:   blockSize,
 		Parallelism: opts.Parallelism,
 		Ctx:         opts.Ctx,
 		Rec:         rec,
 		Progress:    opts.Progress,
-	}, func(block, start int, pts []geom.Point) error {
-		var dens []float64
-		if densCache != nil {
-			dens = densCache[start : start+len(pts)]
+	}, opts.Layout, func(block, start int, pts []geom.Point, cols [][]float64) error {
+		// Same fused pass as Draw: cached (or freshly fused) biased
+		// weights, coin flips into pooled scratch, arena-carved storage.
+		sc := getCoinScratch(len(pts))
+		defer coinScratchPool.Put(sc)
+		var weights []float64
+		if weightCache != nil {
+			weights = weightCache[start : start+len(pts)]
 		} else {
-			dens = make([]float64, len(pts))
-			evalDensities(est, pts, dens)
+			weights = sc.dens
+			evalDensitiesLayout(est, pts, cols, opts.Precision, weights)
+			for i, f := range weights {
+				weights[i] = biasedWeight(f, opts.Alpha, floor)
+			}
 		}
-		brng := streams[1+block]
-		var sel []dataset.WeightedPoint
-		sat := 0
-		for i, p := range pts {
-			fp := biasedWeight(dens[i], opts.Alpha, floor)
-			prob := b * fp / kNew
+		brng := &streams[1+block]
+		count, sat := 0, 0
+		for i := range pts {
+			prob := b * weights[i] / kNew
 			if prob >= 1 {
 				prob = 1
 				sat++
 			}
 			if brng.Bernoulli(prob) {
-				sel = append(sel, dataset.WeightedPoint{P: p.Clone(), W: 1 / prob})
+				sc.idx[count] = int32(i)
+				sc.probs[count] = prob
+				count++
 			}
 		}
-		perBlock[block] = blockSample{points: sel, saturated: sat}
+		perBlock[block] = blockSample{points: fillBlockSample(arena, pts, sc, count), saturated: sat}
 		cCoins.Add(int64(len(pts)))
 		cSat.Add(int64(sat))
 		return nil

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestDrawLayoutParity pins the tentpole determinism contract: at float64
+// the columnar path must reproduce the row path bit-for-bit — same points,
+// same weights, same normalizer — at every worker count, for the exact and
+// one-pass variants alike.
+func TestDrawLayoutParity(t *testing.T) {
+	setup := stats.NewRNG(404)
+	ds, _ := twoBlobs(3000, 3000, setup)
+	est := buildKDE(t, ds, 200, setup)
+
+	for _, alpha := range []float64{1, -0.5} {
+		for _, onePass := range []bool{false, true} {
+			base := Options{Alpha: alpha, TargetSize: 500, OnePass: onePass, BlockSize: 512, Layout: LayoutRow, Parallelism: 1}
+			ref, err := Draw(ds, est, base, stats.NewRNG(9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4, 8} {
+				for _, layout := range []Layout{LayoutRow, LayoutColumnar} {
+					opts := base
+					opts.Parallelism = workers
+					opts.Layout = layout
+					got, err := Draw(ds, est, opts, stats.NewRNG(9))
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameSample(t, ref, got, "layout parity")
+				}
+			}
+		}
+	}
+}
+
+// TestExtendDrawLayoutParity is the same contract for the incremental
+// draw: row and columnar must agree bit-for-bit at workers 1, 4, and 8.
+func TestExtendDrawLayoutParity(t *testing.T) {
+	fx := newIncrementalFixture(t, 3000, 300, 100, 250, 1.0, 55)
+	run := func(layout Layout, par int) (*Sample, NormState) {
+		s, ns, err := ExtendDraw(fx.full, fx.ext, ExtendOptions{
+			Options:    Options{Alpha: 1.0, TargetSize: 250, Parallelism: par, Layout: layout},
+			DeltaStart: fx.n,
+			Prior:      fx.prior,
+			PriorNorm:  fx.priorNS,
+		}, stats.NewRNG(66))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, ns
+	}
+	ref, refNS := run(LayoutRow, 1)
+	for _, workers := range []int{1, 4, 8} {
+		for _, layout := range []Layout{LayoutRow, LayoutColumnar} {
+			got, ns := run(layout, workers)
+			if ns != refNS {
+				t.Fatalf("norm state diverged: %+v vs %+v", ns, refNS)
+			}
+			sameSample(t, ref, got, "extend layout parity")
+		}
+	}
+}
+
+// TestFloat32RequiresColumnar: the float32 path exists only column-major;
+// requesting it on the row layout must be rejected, not silently ignored.
+func TestFloat32RequiresColumnar(t *testing.T) {
+	setup := stats.NewRNG(11)
+	ds, _ := twoBlobs(200, 200, setup)
+	est := buildKDE(t, ds, 50, setup)
+	_, err := Draw(ds, est, Options{Alpha: 1, TargetSize: 50, Layout: LayoutRow, Precision: Float32}, stats.NewRNG(1))
+	if err == nil {
+		t.Fatal("row + float32 accepted")
+	}
+	_, _, err = ExtendDraw(ds, est, ExtendOptions{
+		Options:    Options{Alpha: 1, TargetSize: 50, Layout: LayoutRow, Precision: Float32},
+		DeltaStart: 200,
+		Prior:      &Sample{},
+		PriorNorm:  NormState{K: 1, N: 200, Kernels: 50},
+	}, stats.NewRNG(1))
+	if err == nil {
+		t.Fatal("ExtendDraw row + float32 accepted")
+	}
+}
+
+// TestFloat32Deterministic: the float32 path may drift from float64 (its
+// documented error model) but must itself be deterministic across worker
+// counts, and must deliver a plausible sample.
+func TestFloat32Deterministic(t *testing.T) {
+	setup := stats.NewRNG(21)
+	ds, _ := twoBlobs(3000, 3000, setup)
+	est := buildKDE(t, ds, 200, setup)
+
+	opts := Options{Alpha: 1, TargetSize: 500, Precision: Float32, Parallelism: 1}
+	ref, err := Draw(ds, est, opts, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Points) < 350 || len(ref.Points) > 650 {
+		t.Fatalf("float32 sample size %d implausible for b=500", len(ref.Points))
+	}
+	for _, workers := range []int{2, 8} {
+		o := opts
+		o.Parallelism = workers
+		got, err := Draw(ds, est, o, stats.NewRNG(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSample(t, ref, got, "float32 workers")
+	}
+}
+
+// TestDrawSteadyStateAllocs is the allocation-regression gate verify.sh
+// runs: once pools are warm, a serial columnar Draw must perform zero
+// per-block heap allocations. With 512 blocks in flight, any per-block
+// allocation would blow the fixed per-draw budget immediately.
+func TestDrawSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats the scratch pools this gate measures")
+	}
+	setup := stats.NewRNG(77)
+	ds, _ := twoBlobs(4096, 4096, setup)
+	est := buildKDE(t, ds, 150, setup)
+	opts := Options{Alpha: 1, TargetSize: 400, BlockSize: 16, Parallelism: 1}
+
+	draw := func() {
+		if _, err := Draw(ds, est, opts, stats.NewRNG(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	draw() // warm the scratch pools
+	const numBlocks = 512.0
+	allocs := testing.AllocsPerRun(5, draw)
+	// The fixed per-draw cost (weight cache, RNG streams, arena chunks,
+	// result slices) is well under 100 allocations; per-block costs would
+	// add ≥512 at this block size.
+	if allocs >= 100 {
+		t.Fatalf("Draw allocates %.0f objects per run over %v blocks — per-block allocation regression", allocs, numBlocks)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// the allocation gate skips itself then, since instrumentation defeats
+// the scratch pools the gate measures.
+const raceEnabled = true

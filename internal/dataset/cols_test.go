@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// collectCols runs ScanBlocksCols and reassembles the points from the
+// column views, in block order, checking per-block invariants as it goes.
+func collectCols(t *testing.T, ds Dataset, blockSize, parallelism int) [][]float64 {
+	t.Helper()
+	n, dims := ds.Len(), ds.Dims()
+	nb := (n + blockSize - 1) / blockSize
+	rows := make([][][]float64, nb)
+	var mu sync.Mutex
+	err := ScanBlocksCols(ds, ScanConfig{BlockSize: blockSize, Parallelism: parallelism}, func(b Block) error {
+		if len(b.Cols) != dims {
+			t.Errorf("block %d: %d cols, want %d", b.Index, len(b.Cols), dims)
+		}
+		if len(b.Points) == 0 {
+			t.Errorf("block %d: empty", b.Index)
+		}
+		got := make([][]float64, len(b.Points))
+		for i, p := range b.Points {
+			row := make([]float64, dims)
+			for j := 0; j < dims; j++ {
+				if len(b.Cols[j]) != len(b.Points) {
+					t.Errorf("block %d: col %d has %d values, want %d", b.Index, j, len(b.Cols[j]), len(b.Points))
+				}
+				// The column view must agree with the row view exactly.
+				if b.Cols[j][i] != p[j] {
+					t.Errorf("block %d: cols[%d][%d] = %v, row = %v", b.Index, j, i, b.Cols[j][i], p[j])
+				}
+				row[j] = p[j]
+			}
+			got[i] = row
+		}
+		mu.Lock()
+		rows[b.Index] = got
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]float64
+	for _, blk := range rows {
+		out = append(out, blk...)
+	}
+	return out
+}
+
+func TestScanBlocksColsParity(t *testing.T) {
+	// Sizes straddle the block-multiple boundary: exact multiples, one
+	// short, one over, a single point, and fewer points than one block.
+	for _, n := range []int{1, 7, 64, 65, 127, 128, 777} {
+		pts := testPoints(n, 3)
+		ds := MustInMemory(pts)
+		for _, workers := range []int{1, 4, 8} {
+			got := collectCols(t, ds, 64, workers)
+			if len(got) != n {
+				t.Fatalf("n=%d workers=%d: %d points back, want %d", n, workers, len(got), n)
+			}
+			for i, row := range got {
+				for j, v := range row {
+					if v != pts[i][j] {
+						t.Fatalf("n=%d workers=%d: point %d dim %d = %v, want %v", n, workers, i, j, v, pts[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScanBlocksColsSingletonBlocks(t *testing.T) {
+	// blockSize 1: every block is a singleton, including the tail.
+	pts := testPoints(9, 2)
+	ds := MustInMemory(pts)
+	got := collectCols(t, ds, 1, 4)
+	if len(got) != len(pts) {
+		t.Fatalf("%d points back, want %d", len(got), len(pts))
+	}
+}
+
+func TestScanBlocksColsEmptyWindow(t *testing.T) {
+	// A zero-width window is a legal empty dataset: the scan must complete
+	// without invoking the callback.
+	ds := MustInMemory(testPoints(10, 2))
+	w, err := Window(ds, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	err = ScanBlocksCols(w, ScanConfig{BlockSize: 8}, func(b Block) error {
+		calls++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("callback ran %d times on an empty dataset", calls)
+	}
+}
+
+func TestScanBlocksColsError(t *testing.T) {
+	ds := MustInMemory(testPoints(100, 2))
+	boom := errors.New("boom")
+	err := ScanBlocksCols(ds, ScanConfig{BlockSize: 16}, func(b Block) error {
+		if b.Index == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestScanBlocksColsStop(t *testing.T) {
+	ds := MustInMemory(testPoints(100, 2))
+	seen := 0
+	err := ScanBlocksCols(ds, ScanConfig{BlockSize: 16, Parallelism: 1}, func(b Block) error {
+		seen++
+		return ErrStopScan
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Fatalf("saw %d blocks after stop, want 1", seen)
+	}
+}

@@ -47,6 +47,7 @@ var (
 	_ Sliceable    = (*InMemory)(nil)
 	_ RangeScanner = (*window)(nil)
 	_ RangeScanner = (*SegmentFile)(nil)
+	_ Sliceable    = (*SegmentFile)(nil)
 	_ Sliceable    = (*sliceWindow)(nil)
 	_ PassCounter  = (*window)(nil)
 )
@@ -100,7 +101,12 @@ func Window(ds Dataset, start, end int) (Dataset, error) {
 		w.pc = pc
 	}
 	if sl, ok := ds.(Sliceable); ok {
-		return &sliceWindow{window: w, pts: sl.Points()[start:end]}, nil
+		// Only pin when the snapshot actually covers the range: a Sliceable
+		// whose mapping is unavailable (SegmentFile fallback) returns nil
+		// or a short slice and must keep the range-scanning view.
+		if pts := sl.Points(); len(pts) >= end {
+			return &sliceWindow{window: w, pts: pts[start:end]}, nil
+		}
 	}
 	return &w, nil
 }

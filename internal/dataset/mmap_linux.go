@@ -1,0 +1,22 @@
+//go:build linux && (amd64 || arm64)
+
+package dataset
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy segment path: on supported platforms
+// OpenSegmented maps the file read-only and serves scans straight from the
+// page cache. Everywhere else the decode path runs, with identical results.
+const mmapSupported = true
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,18 @@
+//go:build !(linux && (amd64 || arm64))
+
+package dataset
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported is false here: platforms without a vetted mmap path use
+// the decode fallback, which produces identical results.
+const mmapSupported = false
+
+var errMmapUnsupported = errors.New("dataset: mmap unsupported on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) { return nil, errMmapUnsupported }
+
+func munmapFile(b []byte) error { return nil }

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/geom"
 )
@@ -35,6 +36,21 @@ const segmentMagic = "DBS2"
 // file. Like FileBacked, every scan opens a private handle; the segment
 // index is held behind an atomic snapshot, so appends never disturb
 // in-flight scans and a scan started before an append keeps its prefix.
+//
+// On platforms with mmap support the file is memory-mapped read-only and
+// SegmentFile additionally implements Sliceable: Points returns row views
+// aliasing the page cache, so block scans are zero-copy — no decode pass,
+// no per-open allocation. Every row in the DBS2 format sits at an 8-byte
+// aligned offset (the header and each segment prefix are 8-byte multiples),
+// which is what makes the reinterpretation sound. When mapping is
+// unavailable (platform, alignment, or any mmap failure) Points returns
+// nil and every reader falls back to the decode path with identical
+// results.
+//
+// Close releases the mappings. The caller must guarantee no scan is in
+// flight and no earlier Points slice is still referenced — the serving
+// registry's refcount provides exactly that — after which reads and
+// appends fail with ErrClosed.
 type SegmentFile struct {
 	path   string
 	dims   int
@@ -43,15 +59,31 @@ type SegmentFile struct {
 	mu    sync.Mutex // serializes Append
 	state atomic.Pointer[segState]
 
+	mapMu  sync.Mutex // guards maps and closed
+	maps   [][]byte   // every live mapping; appends remap, Close frees all
+	closed bool
+
 	fp fpMemo
 }
 
+// mmapDisabled forces the decode path when set; it exists so tests can
+// exercise fallback behavior and prove it byte-identical to the mapped
+// path.
+var mmapDisabled bool
+
+// ErrClosed is returned by reads and appends on a SegmentFile after Close.
+var ErrClosed = errors.New("dataset: use after Close")
+
 // segState is an immutable snapshot of the segment index. counts[g] is
 // the cumulative row count through segment g; offs[g] is the byte offset
-// of segment g's first row (just past its count prefix).
+// of segment g's first row (just past its count prefix). pts, when
+// non-nil, holds one row view per point aliasing the current memory
+// mapping; it is built before the snapshot is published and never mutated
+// after.
 type segState struct {
 	counts []int
 	offs   []int64
+	pts    []geom.Point
 }
 
 func (st *segState) total() int { return st.counts[len(st.counts)-1] }
@@ -152,8 +184,109 @@ func OpenSegmented(path string) (*SegmentFile, error) {
 		return nil, fmt.Errorf("dataset: %s: no segments", path)
 	}
 	sf := &SegmentFile{path: path, dims: dims}
+	sf.mapSegments(st)
 	sf.state.Store(st)
 	return sf, nil
+}
+
+// mapSegments memory-maps the file's validated extent and fills st.pts
+// with row views aliasing the mapping, in dataset order. It is called on
+// a snapshot that has not been published yet, so st is still private to
+// the caller. On any failure — platform, alignment, a file shorter than
+// the index promises — st.pts stays nil and readers use the decode path.
+func (sf *SegmentFile) mapSegments(st *segState) {
+	if mmapDisabled || !mmapSupported || len(st.counts) == 0 {
+		return
+	}
+	for _, off := range st.offs {
+		if off%8 != 0 {
+			// Never reinterpret unaligned bytes as float64s. The DBS2
+			// layout keeps every offset 8-aligned; this guards corrupt or
+			// future-variant files.
+			return
+		}
+	}
+	rowSize := int64(8 * sf.dims)
+	last := len(st.counts) - 1
+	lastRows := st.counts[last]
+	if last > 0 {
+		lastRows -= st.counts[last-1]
+	}
+	need := st.offs[last] + int64(lastRows)*rowSize
+
+	f, err := os.Open(sf.path)
+	if err != nil {
+		return
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil || size < need {
+		f.Close()
+		return
+	}
+	data, err := mmapFile(f, need)
+	f.Close()
+	if err != nil {
+		return
+	}
+	sf.mapMu.Lock()
+	if sf.closed {
+		sf.mapMu.Unlock()
+		munmapFile(data)
+		return
+	}
+	sf.maps = append(sf.maps, data)
+	sf.mapMu.Unlock()
+
+	pts := make([]geom.Point, st.total())
+	i, segStart := 0, 0
+	for g, off := range st.offs {
+		rows := st.counts[g] - segStart
+		floats := unsafe.Slice((*float64)(unsafe.Pointer(&data[off])), rows*sf.dims)
+		for r := 0; r < rows; r++ {
+			pts[i] = geom.Point(floats[r*sf.dims : (r+1)*sf.dims : (r+1)*sf.dims])
+			i++
+		}
+		segStart = st.counts[g]
+	}
+	st.pts = pts
+}
+
+// Points implements Sliceable when the file is memory-mapped: row views
+// straight into the page cache, a stable snapshot exactly like InMemory's
+// (an append publishes a longer slice; it never mutates this one). It
+// returns nil when the file is not mapped, which block scans treat as
+// "use the decode path".
+func (sf *SegmentFile) Points() []geom.Point { return sf.state.Load().pts }
+
+// Close unmaps every mapping the file holds and marks the dataset closed:
+// subsequent scans and appends fail with ErrClosed. Close is idempotent.
+// It must not race in-flight scans — the mapped memory they may be
+// reading is released here.
+func (sf *SegmentFile) Close() error {
+	sf.mapMu.Lock()
+	maps := sf.maps
+	sf.maps = nil
+	already := sf.closed
+	sf.closed = true
+	sf.mapMu.Unlock()
+	if already {
+		return nil
+	}
+	old := sf.state.Load()
+	sf.state.Store(&segState{counts: old.counts, offs: old.offs})
+	var err error
+	for _, m := range maps {
+		if e := munmapFile(m); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+func (sf *SegmentFile) isClosed() bool {
+	sf.mapMu.Lock()
+	defer sf.mapMu.Unlock()
+	return sf.closed
 }
 
 // Append writes pts as a new segment at the end of the file and publishes
@@ -170,6 +303,9 @@ func (sf *SegmentFile) Append(pts ...geom.Point) error {
 	}
 	sf.mu.Lock()
 	defer sf.mu.Unlock()
+	if sf.isClosed() {
+		return ErrClosed
+	}
 
 	f, err := os.OpenFile(sf.path, os.O_WRONLY, 0)
 	if err != nil {
@@ -213,6 +349,10 @@ func (sf *SegmentFile) Append(pts ...geom.Point) error {
 	copy(st.offs, old.offs)
 	st.counts[len(old.counts)] = old.total() + len(pts)
 	st.offs[len(old.offs)] = oldSize + 8
+	// Remap the grown file before publishing. The previous mapping stays
+	// alive (sf.maps) until Close, so row views handed out from the old
+	// snapshot remain valid for readers that pinned it.
+	sf.mapSegments(st)
 	sf.state.Store(st)
 	return nil
 }
@@ -237,6 +377,23 @@ func (sf *SegmentFile) ScanRange(start, end int, fn func(p geom.Point) error) er
 func (sf *SegmentFile) scanRange(st *segState, start, end int, fn func(p geom.Point) error) error {
 	if start == end {
 		return nil
+	}
+	if pts := st.pts; pts != nil {
+		// Mapped: serve the rows straight from the page cache. Decoded and
+		// mapped reads see the same little-endian float64 bytes, so the two
+		// paths are byte-identical.
+		for _, p := range pts[start:end] {
+			if err := fn(p); err != nil {
+				if errors.Is(err, ErrStopScan) {
+					return nil
+				}
+				return err
+			}
+		}
+		return nil
+	}
+	if sf.isClosed() {
+		return ErrClosed
 	}
 	f, err := os.Open(sf.path)
 	if err != nil {

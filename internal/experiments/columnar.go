@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kde"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+func init() {
+	register("columnar", "columnar draw: row vs column layout, float32 path, worker scaling", columnarExp)
+}
+
+// columnarExp measures the exact two-pass biased draw under the three
+// execution variants the columnar refactor introduced: the legacy row
+// layout, the column (structure-of-arrays) layout, and the float32
+// evaluation path. The workload matches the parallel experiment (n points,
+// d = 4, 500 kernels, b = 1000) so BENCH_columnar.json is directly
+// comparable against the BENCH_parallel.json baseline.
+//
+// Two contracts are asserted, not just reported:
+//
+//   - determinism: every float64 draw — row or columnar, at any worker
+//     count — must be byte-identical to the serial row reference;
+//   - scaling: two columnar workers must not run slower than one beyond a
+//     noise allowance (wall-clock p2 ≤ 1.3 × p1, best-of-reps). This pins
+//     the fix for the regression BENCH_parallel.json recorded, where
+//     DrawParallel/2 (238.8ms) lost to DrawParallel/1 (210.9ms).
+//
+// The scaling assertion fails the experiment only in the full profile;
+// the quick profile's workloads are too small to time reliably.
+func columnarExp(cfg Config) (*Table, error) {
+	n, reps := 100000, 3
+	if cfg.Quick {
+		n, reps = 20000, 1
+	}
+	setup := stats.NewRNG(cfg.Seed)
+	l := synth.EqualClusters(10, 4, n, 0.10, setup)
+	ds := l.Dataset()
+	est, err := kde.Build(ds, kde.Options{NumKernels: 500}, setup)
+	if err != nil {
+		return nil, err
+	}
+
+	// draw runs one configuration reps times and keeps the fastest
+	// wall-clock; the sample is identical across reps by the determinism
+	// contract, so best-of is sound.
+	draw := func(layout core.Layout, prec core.Precision, workers int) (*core.Sample, float64, error) {
+		var best float64
+		var s *core.Sample
+		for r := 0; r < reps; r++ {
+			var cur *core.Sample
+			d, err := timed(func() error {
+				var derr error
+				cur, derr = core.Draw(ds, est, core.Options{
+					Alpha:       1,
+					TargetSize:  1000,
+					Parallelism: workers,
+					Layout:      layout,
+					Precision:   prec,
+					Obs:         cfg.Obs,
+				}, stats.NewRNG(cfg.Seed))
+				return derr
+			})
+			if err != nil {
+				return nil, 0, err
+			}
+			if sec := d.Seconds(); r == 0 || sec < best {
+				best, s = sec, cur
+			}
+		}
+		return s, best, nil
+	}
+
+	type variant struct {
+		name    string
+		layout  core.Layout
+		prec    core.Precision
+		workers int
+	}
+	variants := []variant{
+		{"row", core.LayoutRow, core.Float64, 1},
+		{"row", core.LayoutRow, core.Float64, 4},
+		{"col", core.LayoutColumnar, core.Float64, 1},
+		{"col", core.LayoutColumnar, core.Float64, 2},
+		{"col", core.LayoutColumnar, core.Float64, 4},
+		{"col", core.LayoutColumnar, core.Float64, 8},
+		{"col/f32", core.LayoutColumnar, core.Float32, 4},
+	}
+
+	t := &Table{
+		Columns: []string{"layout", "workers", "sec", "points/sec", "speedup", "same sample"},
+		Notes: []string{
+			fmt.Sprintf("exact two-pass draw, n = %d, d = 4, a = 1, b = 1000, 500 kernels, best of %d reps", n, reps),
+			"speedup is wall-clock vs the row/workers=1 reference; float64 rows must be byte-identical to it",
+		},
+	}
+	var ref *core.Sample
+	var refSec float64
+	colSec := map[int]float64{}
+	for _, v := range variants {
+		s, sec, err := draw(v.layout, v.prec, v.workers)
+		if err != nil {
+			return nil, err
+		}
+		identical := "ref"
+		switch {
+		case ref == nil:
+			ref, refSec = s, sec
+		case v.prec == core.Float32:
+			identical = fmt.Sprintf("n/a (%d pts)", len(s.Points))
+		default:
+			identical = "yes"
+			if !sameDraw(ref, s) {
+				identical = "NO"
+			}
+		}
+		if identical == "NO" {
+			return nil, fmt.Errorf("columnar: %s/%d draw diverged from the serial row reference", v.name, v.workers)
+		}
+		if v.layout == core.LayoutColumnar && v.prec == core.Float64 {
+			colSec[v.workers] = sec
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name, itoa(v.workers), fmt.Sprintf("%.3f", sec),
+			fmt.Sprintf("%.0f", float64(ds.Len())/sec),
+			fmt.Sprintf("%.2fx", refSec/sec),
+			identical,
+		})
+		t.Benchmarks = append(t.Benchmarks, BenchResult{
+			Name:         fmt.Sprintf("Draw/%s/%d", v.name, v.workers),
+			Iters:        reps,
+			NsPerOp:      int64(sec * 1e9),
+			PointsPerSec: float64(ds.Len()) / sec,
+			Speedup:      refSec / sec,
+		})
+	}
+
+	// Worker-scaling pin: adding a second worker must never cost more than
+	// the noise allowance over one.
+	ratio := colSec[2] / colSec[1]
+	check := "PASS"
+	if ratio > 1.3 {
+		check = "FAIL"
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("scaling check: col/2 vs col/1 wall-clock ratio %.2f (bound 1.30) — %s", ratio, check))
+	if check == "FAIL" && !cfg.Quick {
+		return nil, fmt.Errorf("columnar: worker-scaling regression: col/2 took %.2fx col/1 (bound 1.30)", ratio)
+	}
+	return t, nil
+}

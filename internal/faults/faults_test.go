@@ -291,3 +291,61 @@ func TestWrapOverAppendable(t *testing.T) {
 		}
 	}
 }
+
+// TestWrapSegmentFileCloseSafety covers the mmap lifecycle under the
+// wrapper: Wrap drops Sliceable (so block scans go through ScanRange, the
+// decode-compatible path), scans through the wrapper match the raw file,
+// and a scan after Close fails with a clean dataset.ErrClosed — never a
+// read of unmapped memory.
+func TestWrapSegmentFileCloseSafety(t *testing.T) {
+	pts := make([]geom.Point, 200)
+	for i := range pts {
+		pts[i] = geom.Point{float64(i), float64(3 * i)}
+	}
+	mem, err := dataset.NewInMemory(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/seg.dbs"
+	sf, err := dataset.CreateSegmented(path, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := New(Config{Seed: 1}) // zero probabilities: wrapper only, no faults
+	wrapped := Wrap(sf, in.Point("scan"))
+	if _, ok := wrapped.(dataset.Sliceable); ok {
+		t.Fatal("wrapper must not forward Sliceable")
+	}
+	if _, ok := wrapped.(dataset.RangeScanner); !ok {
+		t.Fatal("wrapper lost RangeScanner")
+	}
+
+	got := make([]geom.Point, len(pts))
+	err = dataset.ScanBlocks(wrapped, 32, 1, func(block, start int, bp []geom.Point) error {
+		for i, p := range bp {
+			got[start+i] = p.Clone()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if got[i] == nil || !got[i].Equal(pts[i]) {
+			t.Fatalf("point %d = %v, want %v", i, got[i], pts[i])
+		}
+	}
+
+	if err := sf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = wrapped.Scan(func(geom.Point) error { return nil })
+	if !errors.Is(err, dataset.ErrClosed) {
+		t.Fatalf("scan after Close through wrapper: %v, want ErrClosed", err)
+	}
+	err = wrapped.(dataset.RangeScanner).ScanRange(0, 10, func(geom.Point) error { return nil })
+	if !errors.Is(err, dataset.ErrClosed) {
+		t.Fatalf("range scan after Close through wrapper: %v, want ErrClosed", err)
+	}
+}

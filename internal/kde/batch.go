@@ -1,148 +1,251 @@
 package kde
 
 import (
+	"fmt"
+	"sync"
+
 	"repro/internal/geom"
 	"repro/internal/kdtree"
 )
 
+// evalScratch is the reusable per-batch evaluation state: the pre-scaled
+// query, the query box corners, a gather buffer for columnar input, and
+// the kd-tree traversal slices. Batches borrow one from a package pool,
+// so steady-state density evaluation performs no per-block allocations.
+type evalScratch struct {
+	qs     []float64  // query pre-scaled by invH
+	qs32   []float32  // float32 twin of qs
+	qlo    []float64  // query box corner q - boxReach
+	qhi    []float64  // query box corner q + boxReach
+	pt     geom.Point // gather buffer for columnar input
+	leaves []int32
+	stack  []int32
+}
+
+var evalScratchPool = sync.Pool{New: func() interface{} { return new(evalScratch) }}
+
+func getEvalScratch(d int) *evalScratch {
+	sc := evalScratchPool.Get().(*evalScratch)
+	if cap(sc.qs) < d {
+		sc.qs = make([]float64, d)
+		sc.qs32 = make([]float32, d)
+		sc.qlo = make([]float64, d)
+		sc.qhi = make([]float64, d)
+		sc.pt = make(geom.Point, d)
+	}
+	sc.qs, sc.qs32 = sc.qs[:d], sc.qs32[:d]
+	sc.qlo, sc.qhi, sc.pt = sc.qlo[:d], sc.qhi[:d], sc.pt[:d]
+	return sc
+}
+
 // DensityBatch evaluates the density at every point of pts into
 // out[:len(pts)], equivalent to calling Density per point but built for
-// the block-scan hot path. Two ingredients make it fast:
+// the block-scan hot path. For the Epanechnikov kernel — the paper's
+// default — evaluation runs on the flat slab layout (see the Estimator
+// fields): the center tree is pruned with per-node bounding boxes, leaf
+// ranges index a tree-ordered pre-scaled center slab directly, and the
+// product kernel is evaluated with one subtraction per dimension. Other
+// kernels keep the per-center path (box-pruned for compact supports, the
+// truncation ball for Gaussian).
 //
-//   - For kernels with true compact support (every profile except
-//     Gaussian) the product kernel vanishes outside the axis-aligned box
-//     p ± sup·h, so the center tree is pruned with the box itself rather
-//     than the circumscribed ball Density uses — admitting a factor
-//     ~(πd/2)^(d/2)/Γ(d/2+1) fewer candidates as dimension grows — and
-//     leaf points are fed straight into the kernel without a distance
-//     test (out-of-box centers contribute exact zeros).
-//   - The traversal reuses one leaf-range buffer and node stack across
-//     the batch (no per-query allocation, no per-center closure call),
-//     and the Epanechnikov kernel — the paper's default — is evaluated
-//     with a fused product loop instead of two interface calls per
-//     center per dimension.
-//
-// The method allocates only its per-call scratch, so concurrent calls on
-// the same Estimator (one per scan block) are safe. Results are a pure
-// function of the inputs — identical for any batching or concurrency.
+// All scratch is pooled, so concurrent calls on the same Estimator (one
+// per scan block) are safe and allocation-free in steady state. Results
+// are a pure function of the inputs — identical for any batching or
+// concurrency, and bit-identical to DensityBatchCols over the same points.
 // Floating-point visit order differs from Density's recursive traversal,
-// so the two agree to rounding, not bit-for-bit.
+// so the per-point and batch paths agree to rounding, not bit-for-bit.
 func (e *Estimator) DensityBatch(pts []geom.Point, out []float64) {
 	if len(out) < len(pts) {
 		panic("kde: DensityBatch output shorter than input")
 	}
+	sc := getEvalScratch(e.dims)
+	defer evalScratchPool.Put(sc)
 	// With a Recorder attached the counting twins run instead; they share
-	// the evaluation code shape and produce identical densities, differing
+	// the evaluation arithmetic and produce identical densities, differing
 	// only in traversal accounting. The dispatch keeps the disabled hot
 	// path free of even per-leaf counting.
-	switch e.kernel.(type) {
+	if e.cKernelEvals != nil {
+		var st kdtree.Stats
+		var evals int64
+		for i, p := range pts {
+			if p.Dims() != e.dims {
+				panic("kde: query dimension mismatch")
+			}
+			out[i] = e.evalPointObs(p, sc, &st, &evals)
+		}
+		e.flushBatchStats(evals, st)
+		return
+	}
+	for i, p := range pts {
+		if p.Dims() != e.dims {
+			panic("kde: query dimension mismatch")
+		}
+		out[i] = e.evalPoint(p, sc)
+	}
+}
+
+// DensityBatchCols is DensityBatch over a columnar block: cols[j][i] is
+// coordinate j of point i. Each point is gathered into a pooled row
+// buffer and evaluated by exactly the code path DensityBatch uses, so the
+// row and columnar results are bit-identical at float64 precision — the
+// parity contract the sampler's layout option rests on.
+func (e *Estimator) DensityBatchCols(cols [][]float64, out []float64) {
+	n := e.checkCols(cols, out)
+	sc := getEvalScratch(e.dims)
+	defer evalScratchPool.Put(sc)
+	p := sc.pt
+	if e.cKernelEvals != nil {
+		var st kdtree.Stats
+		var evals int64
+		for i := 0; i < n; i++ {
+			for j := range p {
+				p[j] = cols[j][i]
+			}
+			out[i] = e.evalPointObs(p, sc, &st, &evals)
+		}
+		e.flushBatchStats(evals, st)
+		return
+	}
+	for i := 0; i < n; i++ {
+		for j := range p {
+			p[j] = cols[j][i]
+		}
+		out[i] = e.evalPoint(p, sc)
+	}
+}
+
+// DensityBatchCols32 is DensityBatchCols evaluated in float32: the center
+// slab, the pre-scaled query, and the kernel products are all single
+// precision, halving the evaluation bandwidth; the widened results land in
+// out. The kd-tree traversal (an exact box test) stays in float64, so the
+// same centers are considered — only the kernel arithmetic is rounded.
+// Results are deterministic at every worker count but are NOT bit-equal to
+// the float64 path; the relative error is bounded by the float32 epsilon
+// times the summation depth (see DESIGN.md, "Memory layout & zero-copy
+// scans"). Estimators without a fused engine (non-Epanechnikov kernels)
+// fall back to the float64 columnar path.
+func (e *Estimator) DensityBatchCols32(cols [][]float64, out []float64) {
+	if e.flat == nil {
+		e.DensityBatchCols(cols, out)
+		return
+	}
+	n := e.checkCols(cols, out)
+	e.f32Once.Do(e.buildFlat32)
+	sc := getEvalScratch(e.dims)
+	defer evalScratchPool.Put(sc)
+	p := sc.pt
+	if e.cKernelEvals != nil {
+		var st kdtree.Stats
+		var evals int64
+		for i := 0; i < n; i++ {
+			for j := range p {
+				p[j] = cols[j][i]
+			}
+			out[i] = e.flatEval32Obs(p, sc, &st, &evals)
+		}
+		e.flushBatchStats(evals, st)
+		return
+	}
+	for i := 0; i < n; i++ {
+		for j := range p {
+			p[j] = cols[j][i]
+		}
+		out[i] = e.flatEval32(p, sc)
+	}
+}
+
+func (e *Estimator) checkCols(cols [][]float64, out []float64) int {
+	if len(cols) != e.dims {
+		panic(fmt.Sprintf("kde: %d columns for %d dims", len(cols), e.dims))
+	}
+	n := len(cols[0])
+	for j, col := range cols {
+		if len(col) != n {
+			panic(fmt.Sprintf("kde: column %d has %d rows, want %d", j, len(col), n))
+		}
+	}
+	if len(out) < n {
+		panic("kde: DensityBatchCols output shorter than input")
+	}
+	return n
+}
+
+// evalPoint returns the density at p using the batch evaluation layout.
+func (e *Estimator) evalPoint(p geom.Point, sc *evalScratch) float64 {
+	if e.flat != nil {
+		d := e.dims
+		for j := 0; j < d; j++ {
+			sc.qs[j] = p[j] * e.invH[j]
+			sc.qlo[j] = p[j] - e.boxReach[j]
+			sc.qhi[j] = p[j] + e.boxReach[j]
+		}
+		sc.leaves, sc.stack = e.tree.BoxLeaves(sc.qlo, sc.qhi, sc.leaves[:0], sc.stack)
+		return e.weight * e.flatSum(sc.leaves, sc.qs)
+	}
+	if isCompact(e.kernel) {
+		sc.leaves, sc.stack = e.tree.AppendBoxLeaves(p, e.boxReach, sc.leaves[:0], sc.stack)
+		var sum float64
+		for l := 0; l < len(sc.leaves); l += 2 {
+			for _, ci := range e.tree.Indices(sc.leaves[l], sc.leaves[l+1]) {
+				sum += e.kernelAt(int(ci), p)
+			}
+		}
+		return e.weight * sum
+	}
+	// Unbounded support (Gaussian): the Euclidean cutoff at e.reach is part
+	// of the estimate's definition, so it must filter exactly as Density does.
+	sc.leaves, sc.stack = e.tree.WithinAppend(p, e.reach, sc.leaves[:0], sc.stack)
+	var sum float64
+	for _, ci := range sc.leaves {
+		sum += e.kernelAt(int(ci), p)
+	}
+	return e.weight * sum
+}
+
+// evalPointObs is evalPoint with traversal and evaluation accounting.
+// Densities are identical — the arithmetic is shared.
+func (e *Estimator) evalPointObs(p geom.Point, sc *evalScratch, st *kdtree.Stats, evals *int64) float64 {
+	if e.flat != nil {
+		d := e.dims
+		for j := 0; j < d; j++ {
+			sc.qs[j] = p[j] * e.invH[j]
+			sc.qlo[j] = p[j] - e.boxReach[j]
+			sc.qhi[j] = p[j] + e.boxReach[j]
+		}
+		sc.leaves, sc.stack = e.tree.BoxLeavesStats(sc.qlo, sc.qhi, sc.leaves[:0], sc.stack, st)
+		for l := 0; l < len(sc.leaves); l += 2 {
+			*evals += int64(sc.leaves[l+1] - sc.leaves[l])
+		}
+		return e.weight * e.flatSum(sc.leaves, sc.qs)
+	}
+	if isCompact(e.kernel) {
+		sc.leaves, sc.stack = e.tree.AppendBoxLeavesStats(p, e.boxReach, sc.leaves[:0], sc.stack, st)
+		var sum float64
+		for l := 0; l < len(sc.leaves); l += 2 {
+			idx := e.tree.Indices(sc.leaves[l], sc.leaves[l+1])
+			*evals += int64(len(idx))
+			for _, ci := range idx {
+				sum += e.kernelAt(int(ci), p)
+			}
+		}
+		return e.weight * sum
+	}
+	sc.leaves, sc.stack = e.tree.WithinAppendStats(p, e.reach, sc.leaves[:0], sc.stack, st)
+	*evals += int64(len(sc.leaves))
+	var sum float64
+	for _, ci := range sc.leaves {
+		sum += e.kernelAt(int(ci), p)
+	}
+	return e.weight * sum
+}
+
+// isCompact reports whether the kernel's support is the box [-1, 1].
+func isCompact(k Kernel) bool {
+	switch k.(type) {
 	case Epanechnikov, Biweight, Triangular, Uniform:
-		if e.cKernelEvals != nil {
-			e.compactBatchObs(pts, out)
-		} else {
-			e.compactBatch(pts, out)
-		}
-	default:
-		if e.cKernelEvals != nil {
-			e.ballBatchObs(pts, out)
-		} else {
-			e.ballBatch(pts, out)
-		}
+		return true
 	}
-}
-
-// compactBatch is the box-pruned path for compactly supported kernels.
-func (e *Estimator) compactBatch(pts []geom.Point, out []float64) {
-	_, epan := e.kernel.(Epanechnikov)
-	var leaves, stack []int32
-	for i, p := range pts {
-		if p.Dims() != e.dims {
-			panic("kde: query dimension mismatch")
-		}
-		leaves, stack = e.tree.AppendBoxLeaves(p, e.boxReach, leaves[:0], stack)
-		var sum float64
-		for l := 0; l < len(leaves); l += 2 {
-			idx := e.tree.Indices(leaves[l], leaves[l+1])
-			if epan {
-				sum += e.epanechnikovSum(idx, p)
-			} else {
-				for _, ci := range idx {
-					sum += e.kernelAt(int(ci), p)
-				}
-			}
-		}
-		out[i] = e.weight * sum
-	}
-}
-
-// ballBatch is the truncation-radius path for kernels with unbounded
-// support (Gaussian): the Euclidean cutoff at e.reach is part of the
-// estimate's definition there, so it must filter exactly as Density does.
-func (e *Estimator) ballBatch(pts []geom.Point, out []float64) {
-	var buf, stack []int32
-	for i, p := range pts {
-		if p.Dims() != e.dims {
-			panic("kde: query dimension mismatch")
-		}
-		buf, stack = e.tree.WithinAppend(p, e.reach, buf[:0], stack)
-		var sum float64
-		for _, ci := range buf {
-			sum += e.kernelAt(int(ci), p)
-		}
-		out[i] = e.weight * sum
-	}
-}
-
-// compactBatchObs is compactBatch with observability: it counts candidate
-// kernel evaluations (every center of every admitted leaf) and the
-// kd-tree nodes visited versus pruned, tallying locally and flushing one
-// atomic add per counter per batch call. Densities are identical to
-// compactBatch — the per-center arithmetic is shared.
-func (e *Estimator) compactBatchObs(pts []geom.Point, out []float64) {
-	_, epan := e.kernel.(Epanechnikov)
-	var leaves, stack []int32
-	var st kdtree.Stats
-	var evals int64
-	for i, p := range pts {
-		if p.Dims() != e.dims {
-			panic("kde: query dimension mismatch")
-		}
-		leaves, stack = e.tree.AppendBoxLeavesStats(p, e.boxReach, leaves[:0], stack, &st)
-		var sum float64
-		for l := 0; l < len(leaves); l += 2 {
-			idx := e.tree.Indices(leaves[l], leaves[l+1])
-			evals += int64(len(idx))
-			if epan {
-				sum += e.epanechnikovSum(idx, p)
-			} else {
-				for _, ci := range idx {
-					sum += e.kernelAt(int(ci), p)
-				}
-			}
-		}
-		out[i] = e.weight * sum
-	}
-	e.flushBatchStats(evals, st)
-}
-
-// ballBatchObs is ballBatch with the accounting of compactBatchObs.
-func (e *Estimator) ballBatchObs(pts []geom.Point, out []float64) {
-	var buf, stack []int32
-	var st kdtree.Stats
-	var evals int64
-	for i, p := range pts {
-		if p.Dims() != e.dims {
-			panic("kde: query dimension mismatch")
-		}
-		buf, stack = e.tree.WithinAppendStats(p, e.reach, buf[:0], stack, &st)
-		evals += int64(len(buf))
-		var sum float64
-		for _, ci := range buf {
-			sum += e.kernelAt(int(ci), p)
-		}
-		out[i] = e.weight * sum
-	}
-	e.flushBatchStats(evals, st)
+	return false
 }
 
 func (e *Estimator) flushBatchStats(evals int64, st kdtree.Stats) {
@@ -151,43 +254,181 @@ func (e *Estimator) flushBatchStats(evals int64, st kdtree.Stats) {
 	e.cKDPruned.Add(st.Pruned)
 }
 
-// epanechnikovSum accumulates the unit-mass product-kernel values of the
-// given centers at p with the Epanechnikov profile inlined:
-// K(u) = 0.75·(1-u²) on [-1, 1].
-func (e *Estimator) epanechnikovSum(centers []int32, p geom.Point) float64 {
+// flatSum accumulates the unnormalized Epanechnikov product-kernel values
+// of the centers in the given leaf ranges at the pre-scaled query qs
+// (qs[j] = p[j]·invH[j]). Leaf ranges index the flat slab directly — the
+// tree-order layout means no index gather — and each dimension costs one
+// subtraction, one multiply, and one fused range test. The dims==4
+// specialization keeps the whole query in registers; its arithmetic is
+// associativity-identical to the generic loop, so the two return the same
+// bits and the specialization is purely a scheduling win.
+func (e *Estimator) flatSum(leaves []int32, qs []float64) float64 {
 	d := e.dims
-	inv := e.invH
+	flat := e.flat
 	var sum float64
-	if e.invScale != nil {
-		for _, ci := range centers {
-			c := e.centers[ci]
-			is := e.invScale[ci]
+	if e.isFlat == nil {
+		if d == 4 {
+			q0, q1, q2, q3 := qs[0], qs[1], qs[2], qs[3]
+			for l := 0; l < len(leaves); l += 2 {
+				for k, end := 4*int(leaves[l]), 4*int(leaves[l+1]); k < end; k += 4 {
+					u0 := q0 - flat[k]
+					u1 := q1 - flat[k+1]
+					u2 := q2 - flat[k+2]
+					u3 := q3 - flat[k+3]
+					if u0 < -1 || u0 > 1 || u1 < -1 || u1 > 1 ||
+						u2 < -1 || u2 > 1 || u3 < -1 || u3 > 1 {
+						continue
+					}
+					sum += (1 - u0*u0) * (1 - u1*u1) * (1 - u2*u2) * (1 - u3*u3)
+				}
+			}
+			return sum * e.coeffAll
+		}
+		for l := 0; l < len(leaves); l += 2 {
+			for k := int(leaves[l]); k < int(leaves[l+1]); k++ {
+				c := flat[k*d : k*d+d]
+				v := 1.0
+				ok := true
+				for j, cv := range c {
+					u := qs[j] - cv
+					if u < -1 || u > 1 {
+						ok = false
+						break
+					}
+					v *= 1 - u*u
+				}
+				if ok {
+					sum += v
+				}
+			}
+		}
+		return sum * e.coeffAll
+	}
+	// Adaptive bandwidths: the slab is pre-scaled per center, so the query
+	// must be rescaled by the center's inverse scale as it is compared.
+	for l := 0; l < len(leaves); l += 2 {
+		for k := int(leaves[l]); k < int(leaves[l+1]); k++ {
+			is := e.isFlat[k]
+			c := flat[k*d : k*d+d]
 			v := 1.0
-			for j := 0; j < d; j++ {
-				ih := inv[j] * is
-				u := (p[j] - c[j]) * ih
+			ok := true
+			for j, cv := range c {
+				u := qs[j]*is - cv
 				if u < -1 || u > 1 {
-					v = 0
+					ok = false
 					break
 				}
-				v *= 0.75 * (1 - u*u) * ih
+				v *= 1 - u*u
 			}
-			sum += v
+			if ok {
+				sum += v * e.coeff[k]
+			}
 		}
-		return sum
 	}
-	for _, ci := range centers {
-		c := e.centers[ci]
-		v := 1.0
-		for j := 0; j < d; j++ {
-			u := (p[j] - c[j]) * inv[j]
-			if u < -1 || u > 1 {
-				v = 0
-				break
-			}
-			v *= 0.75 * (1 - u*u) * inv[j]
+	return sum
+}
+
+// flatSlabs32 is the float32 twin of the flat evaluation slabs.
+type flatSlabs32 struct {
+	flat     []float32
+	coeff    []float32
+	isFlat   []float32
+	coeffAll float32
+	weight   float32
+}
+
+func (e *Estimator) buildFlat32() {
+	s := &flatSlabs32{
+		flat:     make([]float32, len(e.flat)),
+		coeffAll: float32(e.coeffAll),
+		weight:   float32(e.weight),
+	}
+	for i, v := range e.flat {
+		s.flat[i] = float32(v)
+	}
+	if e.coeff != nil {
+		s.coeff = make([]float32, len(e.coeff))
+		for i, v := range e.coeff {
+			s.coeff[i] = float32(v)
 		}
-		sum += v
+		s.isFlat = make([]float32, len(e.isFlat))
+		for i, v := range e.isFlat {
+			s.isFlat[i] = float32(v)
+		}
+	}
+	e.f32 = s
+}
+
+func (e *Estimator) flatEval32(p geom.Point, sc *evalScratch) float64 {
+	d := e.dims
+	for j := 0; j < d; j++ {
+		sc.qs32[j] = float32(p[j] * e.invH[j])
+		sc.qlo[j] = p[j] - e.boxReach[j]
+		sc.qhi[j] = p[j] + e.boxReach[j]
+	}
+	sc.leaves, sc.stack = e.tree.BoxLeaves(sc.qlo, sc.qhi, sc.leaves[:0], sc.stack)
+	return float64(e.f32.weight * e.flatSum32(sc.leaves, sc.qs32))
+}
+
+func (e *Estimator) flatEval32Obs(p geom.Point, sc *evalScratch, st *kdtree.Stats, evals *int64) float64 {
+	d := e.dims
+	for j := 0; j < d; j++ {
+		sc.qs32[j] = float32(p[j] * e.invH[j])
+		sc.qlo[j] = p[j] - e.boxReach[j]
+		sc.qhi[j] = p[j] + e.boxReach[j]
+	}
+	sc.leaves, sc.stack = e.tree.BoxLeavesStats(sc.qlo, sc.qhi, sc.leaves[:0], sc.stack, st)
+	for l := 0; l < len(sc.leaves); l += 2 {
+		*evals += int64(sc.leaves[l+1] - sc.leaves[l])
+	}
+	return float64(e.f32.weight * e.flatSum32(sc.leaves, sc.qs32))
+}
+
+// flatSum32 is flatSum in float32 over the float32 slabs.
+func (e *Estimator) flatSum32(leaves []int32, qs []float32) float32 {
+	d := e.dims
+	s := e.f32
+	flat := s.flat
+	var sum float32
+	if s.isFlat == nil {
+		for l := 0; l < len(leaves); l += 2 {
+			for k := int(leaves[l]); k < int(leaves[l+1]); k++ {
+				c := flat[k*d : k*d+d]
+				v := float32(1)
+				ok := true
+				for j, cv := range c {
+					u := qs[j] - cv
+					if u < -1 || u > 1 {
+						ok = false
+						break
+					}
+					v *= 1 - u*u
+				}
+				if ok {
+					sum += v
+				}
+			}
+		}
+		return sum * s.coeffAll
+	}
+	for l := 0; l < len(leaves); l += 2 {
+		for k := int(leaves[l]); k < int(leaves[l+1]); k++ {
+			is := s.isFlat[k]
+			c := flat[k*d : k*d+d]
+			v := float32(1)
+			ok := true
+			for j, cv := range c {
+				u := qs[j]*is - cv
+				if u < -1 || u > 1 {
+					ok = false
+					break
+				}
+				v *= 1 - u*u
+			}
+			if ok {
+				sum += v * s.coeff[k]
+			}
+		}
 	}
 	return sum
 }

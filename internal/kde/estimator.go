@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
@@ -98,6 +99,25 @@ type Estimator struct {
 	// Extend can rebuild the tree and adaptive scales the same way.
 	adaptiveK int
 	buildPar  int
+	// Flat evaluation slabs, built for the Epanechnikov kernel only (the
+	// paper's default and the only profile with a fused engine): the
+	// kernel centers laid out in kd-tree leaf order, one contiguous
+	// []float64, with every coordinate pre-scaled by the inverse
+	// bandwidth — flat[k*dims+j] = c[j]·invH[j] (·invScale in the
+	// adaptive case). Leaf ranges reported by the tree index the slab
+	// directly, so the hot loop walks sequential memory with no
+	// per-center pointer chase and evaluates u = q̂[j] − flat[…] in one
+	// subtraction (the query is pre-scaled once per point). The
+	// per-dimension 0.75·invH normalization is hoisted into coeffAll
+	// (uniform) or per-center coeff (adaptive).
+	flat     []float64
+	coeff    []float64 // per-center Π 0.75·invH·invScale; nil when uniform
+	isFlat   []float64 // per-center invScale in leaf order; nil when uniform
+	coeffAll float64   // shared Π 0.75·invH when bandwidths are uniform
+	// f32 holds the float32 twins of the flat slabs for the reduced-
+	// precision evaluation path, built lazily on first use.
+	f32     *flatSlabs32
+	f32Once sync.Once
 	// Observability counter handles (nil when no Recorder is attached —
 	// the batch evaluation paths test cKernelEvals to pick the counting
 	// variant, so the disabled hot path is unchanged).
@@ -282,7 +302,47 @@ func newEstimator(kern Kernel, centers []geom.Point, h []float64, n int, adaptiv
 	if adaptiveK > 0 && len(centers) > 1 {
 		e.applyAdaptiveScales(adaptiveK, parallelism)
 	}
+	e.buildFlat()
 	return e, nil
+}
+
+// buildFlat materializes the flat evaluation slabs (see the Estimator
+// fields). It must run after the tree and any adaptive scales exist.
+func (e *Estimator) buildFlat() {
+	if _, ok := e.kernel.(Epanechnikov); !ok {
+		return
+	}
+	m := len(e.centers)
+	d := e.dims
+	idx := e.tree.Indices(0, int32(m))
+	e.flat = make([]float64, m*d)
+	base := 1.0
+	for _, ih := range e.invH {
+		base *= 0.75 * ih
+	}
+	if e.invScale == nil {
+		e.coeffAll = base
+		for k, ci := range idx {
+			c := e.centers[ci]
+			for j := 0; j < d; j++ {
+				e.flat[k*d+j] = c[j] * e.invH[j]
+			}
+		}
+		return
+	}
+	e.coeff = make([]float64, m)
+	e.isFlat = make([]float64, m)
+	for k, ci := range idx {
+		c := e.centers[ci]
+		is := e.invScale[ci]
+		e.isFlat[k] = is
+		co := base
+		for j := 0; j < d; j++ {
+			e.flat[k*d+j] = c[j] * (e.invH[j] * is)
+			co *= is
+		}
+		e.coeff[k] = co
+	}
 }
 
 // applyAdaptiveScales computes per-center bandwidth multipliers from the

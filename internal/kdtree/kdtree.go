@@ -23,6 +23,12 @@ type Tree struct {
 	idx   []int32 // permutation of point indices, partitioned by the nodes
 	nodes []node
 	dims  int
+	// lo/hi hold the per-node bounding boxes (node ni's box spans
+	// lo[ni*dims+j] .. hi[ni*dims+j]). They are captured from the same
+	// coordinate sweep build uses to pick split dimensions, and let the
+	// box queries prune on the points a subtree actually contains rather
+	// than on the half-space its split plane carves out.
+	lo, hi []float64
 }
 
 type node struct {
@@ -60,10 +66,8 @@ func Build(pts []geom.Point) *Tree {
 func (t *Tree) build(start, end int32) int32 {
 	ni := int32(len(t.nodes))
 	t.nodes = append(t.nodes, node{start: start, end: end, split: -1})
-	if end-start <= leafSize {
-		return ni
-	}
-	// Choose the dimension with the largest spread among these points.
+	// One sweep computes the node's bounding box (kept for every node,
+	// leaves included) and the dimension with the largest spread.
 	bestDim, bestSpread := 0, -1.0
 	for dim := 0; dim < t.dims; dim++ {
 		lo, hi := t.pts[t.idx[start]][dim], t.pts[t.idx[start]][dim]
@@ -76,9 +80,14 @@ func (t *Tree) build(start, end int32) int32 {
 				hi = v
 			}
 		}
+		t.lo = append(t.lo, lo)
+		t.hi = append(t.hi, hi)
 		if s := hi - lo; s > bestSpread {
 			bestSpread, bestDim = s, dim
 		}
+	}
+	if end-start <= leafSize {
+		return ni
 	}
 	if bestSpread == 0 {
 		// All points identical: keep as a (possibly large) leaf.
@@ -321,36 +330,168 @@ func (t *Tree) WithinAppend(q geom.Point, r float64, buf []int32, stack []int32)
 }
 
 // AppendBoxLeaves appends the [start, end) index ranges (two int32 per
-// leaf) of every leaf that can contain points inside the axis-aligned box
-// q ± radii, pruning a subtree as soon as the split plane separates it
-// from the box along the split dimension. Points inside a reported leaf
-// are NOT filtered — callers that need exact membership must test each
-// point — which is exactly right for product kernels with compact
-// support: the kernel itself vanishes outside the box, so evaluating a
-// whole leaf is both correct and branch-free. Box pruning is strictly
-// tighter than the circumscribed-ball pruning of WithinAppend (by a
-// factor growing with dimension), which is why the density hot path uses
-// it. Both slices are reused across calls; pass the previous returns.
+// leaf) of every leaf whose bounding box intersects the axis-aligned box
+// q ± radii. Points inside a reported leaf are NOT filtered — callers
+// that need exact membership must test each point — which is exactly
+// right for product kernels with compact support: the kernel itself
+// vanishes outside the box, so evaluating a whole leaf is both correct
+// and branch-free. Pruning tests each subtree's own bounding box (the
+// points it actually holds), which is strictly tighter than both the
+// circumscribed-ball pruning of WithinAppend and a split-plane test: a
+// subtree far from the box along any dimension is skipped whole, and
+// every leaf it would have reported contributes an exact zero to a
+// compact-kernel sum — so tightening the prune never changes the sum.
+// Both slices are reused across calls; pass the previous returns.
 // Resolve a reported range to center indices with Indices.
 func (t *Tree) AppendBoxLeaves(q geom.Point, radii []float64, leaves, stack []int32) ([]int32, []int32) {
 	stack = append(stack[:0], 0)
+	d := t.dims
 	for len(stack) > 0 {
 		ni := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		bb := int(ni) * d
+		outside := false
+		for j := 0; j < d; j++ {
+			c, r := q[j], radii[j]
+			if t.lo[bb+j] > c+r || t.hi[bb+j] < c-r {
+				outside = true
+				break
+			}
+		}
+		if outside {
+			continue
+		}
 		n := &t.nodes[ni]
 		if n.split < 0 {
 			leaves = append(leaves, n.start, n.end)
 			continue
 		}
-		diff := q[n.split] - n.splitVal
 		near, far := n.left, n.right
-		if diff > 0 {
+		if q[n.split]-n.splitVal > 0 {
 			near, far = n.right, n.left
 		}
-		if -radii[n.split] <= diff && diff <= radii[n.split] {
-			stack = append(stack, far)
+		stack = append(stack, far, near)
+	}
+	return leaves, stack
+}
+
+// BoxLeaves is AppendBoxLeaves with the query box given by its corners
+// (qlo[j] = q[j]-radii[j], qhi[j] = q[j]+radii[j]), precomputed once by
+// the caller instead of re-derived per node — the shape the batch density
+// evaluator wants, where one query box is tested against many node boxes.
+// Leaf order is deterministic (depth-first, left child first); it differs
+// from AppendBoxLeaves' near-first order, so the two enumerate the same
+// leaves but not necessarily in the same sequence.
+func (t *Tree) BoxLeaves(qlo, qhi []float64, leaves, stack []int32) ([]int32, []int32) {
+	d := t.dims
+	if d == 4 {
+		// Keep the query corners in registers: the overlap test dominates
+		// traversal cost and the specialization drops the inner loop and
+		// its per-element bounds checks. Same test, same visit order.
+		lo, hi := t.lo, t.hi
+		l0, l1, l2, l3 := qlo[0], qlo[1], qlo[2], qlo[3]
+		h0, h1, h2, h3 := qhi[0], qhi[1], qhi[2], qhi[3]
+		stack = append(stack[:0], 0)
+		for len(stack) > 0 {
+			ni := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			bb := int(ni) * 4
+			b := lo[bb : bb+4 : bb+4]
+			c := hi[bb : bb+4 : bb+4]
+			if b[0] > h0 || c[0] < l0 || b[1] > h1 || c[1] < l1 ||
+				b[2] > h2 || c[2] < l2 || b[3] > h3 || c[3] < l3 {
+				continue
+			}
+			n := &t.nodes[ni]
+			if n.split < 0 {
+				leaves = append(leaves, n.start, n.end)
+				continue
+			}
+			stack = append(stack, n.right, n.left)
 		}
-		stack = append(stack, near)
+		return leaves, stack
+	}
+	stack = append(stack[:0], 0)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		bb := int(ni) * d
+		outside := false
+		for j := 0; j < d; j++ {
+			if t.lo[bb+j] > qhi[j] || t.hi[bb+j] < qlo[j] {
+				outside = true
+				break
+			}
+		}
+		if outside {
+			continue
+		}
+		n := &t.nodes[ni]
+		if n.split < 0 {
+			leaves = append(leaves, n.start, n.end)
+			continue
+		}
+		stack = append(stack, n.right, n.left)
+	}
+	return leaves, stack
+}
+
+// BoxLeavesStats is BoxLeaves with traversal accounting into st. Results
+// are identical to BoxLeaves.
+func (t *Tree) BoxLeavesStats(qlo, qhi []float64, leaves, stack []int32, st *Stats) ([]int32, []int32) {
+	d := t.dims
+	if d == 4 {
+		// Mirror of BoxLeaves' d==4 specialization, with counting: the
+		// instrumented path must not lose the register-resident overlap
+		// test or the relative overhead of observability balloons.
+		lo, hi := t.lo, t.hi
+		l0, l1, l2, l3 := qlo[0], qlo[1], qlo[2], qlo[3]
+		h0, h1, h2, h3 := qhi[0], qhi[1], qhi[2], qhi[3]
+		stack = append(stack[:0], 0)
+		for len(stack) > 0 {
+			ni := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			st.Visited++
+			bb := int(ni) * 4
+			b := lo[bb : bb+4 : bb+4]
+			c := hi[bb : bb+4 : bb+4]
+			if b[0] > h0 || c[0] < l0 || b[1] > h1 || c[1] < l1 ||
+				b[2] > h2 || c[2] < l2 || b[3] > h3 || c[3] < l3 {
+				st.Pruned++
+				continue
+			}
+			n := &t.nodes[ni]
+			if n.split < 0 {
+				leaves = append(leaves, n.start, n.end)
+				continue
+			}
+			stack = append(stack, n.right, n.left)
+		}
+		return leaves, stack
+	}
+	stack = append(stack[:0], 0)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.Visited++
+		bb := int(ni) * d
+		outside := false
+		for j := 0; j < d; j++ {
+			if t.lo[bb+j] > qhi[j] || t.hi[bb+j] < qlo[j] {
+				outside = true
+				break
+			}
+		}
+		if outside {
+			st.Pruned++
+			continue
+		}
+		n := &t.nodes[ni]
+		if n.split < 0 {
+			leaves = append(leaves, n.start, n.end)
+			continue
+		}
+		stack = append(stack, n.right, n.left)
 	}
 	return leaves, stack
 }
@@ -374,26 +515,34 @@ type Stats struct {
 // st. Results are identical to AppendBoxLeaves.
 func (t *Tree) AppendBoxLeavesStats(q geom.Point, radii []float64, leaves, stack []int32, st *Stats) ([]int32, []int32) {
 	stack = append(stack[:0], 0)
+	d := t.dims
 	for len(stack) > 0 {
 		ni := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		st.Visited++
+		bb := int(ni) * d
+		outside := false
+		for j := 0; j < d; j++ {
+			c, r := q[j], radii[j]
+			if t.lo[bb+j] > c+r || t.hi[bb+j] < c-r {
+				outside = true
+				break
+			}
+		}
+		if outside {
+			st.Pruned++
+			continue
+		}
 		n := &t.nodes[ni]
 		if n.split < 0 {
 			leaves = append(leaves, n.start, n.end)
 			continue
 		}
-		diff := q[n.split] - n.splitVal
 		near, far := n.left, n.right
-		if diff > 0 {
+		if q[n.split]-n.splitVal > 0 {
 			near, far = n.right, n.left
 		}
-		if -radii[n.split] <= diff && diff <= radii[n.split] {
-			stack = append(stack, far)
-		} else {
-			st.Pruned++
-		}
-		stack = append(stack, near)
+		stack = append(stack, far, near)
 	}
 	return leaves, stack
 }

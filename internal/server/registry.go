@@ -14,6 +14,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
@@ -235,28 +236,53 @@ func (h *Handle) Release() { h.r.release(h.e) }
 func (r *Registry) release(e *regEntry) {
 	r.mu.Lock()
 	e.refs--
+	dropped := false
 	if e.removed && e.refs == 0 {
 		// The map may already hold a new entry under this name; only
 		// delete if it is still ours.
 		if cur, ok := r.entries[e.name]; ok && cur == e {
 			delete(r.entries, e.name)
 		}
+		dropped = true
 	}
 	r.mu.Unlock()
+	if dropped {
+		closeEntry(e)
+	}
+}
+
+// closeEntry releases a dropped entry's backing dataset. Path-backed
+// datasets that hold OS resources implement io.Closer (a SegmentFile's
+// memory mappings); it only runs once no handle is outstanding — exactly
+// the condition under which entries are dropped — so no reader can still
+// be touching mapped memory.
+func closeEntry(e *regEntry) {
+	e.openMu.Lock()
+	ds := e.ds
+	e.ds = nil
+	e.openMu.Unlock()
+	if c, ok := ds.(io.Closer); ok {
+		c.Close()
+	}
 }
 
 // Remove unregisters name. In-flight holders keep their handles; the entry
 // is dropped when the last one releases.
 func (r *Registry) Remove(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.entries[name]
 	if !ok || e.removed {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	e.removed = true
-	if e.refs == 0 {
+	dropped := e.refs == 0
+	if dropped {
 		delete(r.entries, name)
+	}
+	r.mu.Unlock()
+	if dropped {
+		closeEntry(e)
 	}
 	return nil
 }

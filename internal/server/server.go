@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -38,6 +39,13 @@ type Config struct {
 	// Parallelism bounds the scan workers each admitted request may use
 	// (0 = all CPUs). Results never depend on it.
 	Parallelism int
+	// Precision selects the density-evaluation arithmetic for every draw
+	// the server runs (core.Float64 or core.Float32). It is server-wide
+	// rather than per-request so cache keys are unaffected: the whole
+	// in-process cache is built at one precision and the serving
+	// guarantee (bit-identical responses for identical requests) holds
+	// within it.
+	Precision core.Precision
 	// CacheBytes is the artifact cache budget (default 256 MiB; negative
 	// disables caching).
 	CacheBytes int64

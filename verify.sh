@@ -24,3 +24,8 @@ go test -race -run Chaos -short ./internal/...
 # bit-for-bit parity) under the race detector.
 go test -race -run 'Chaos|Append' -short ./internal/server/
 OBS_GUARD=1 go test -run TestObsOverheadGuard .
+# Allocation-regression guard: steady-state Draw must perform zero
+# per-block heap allocations on the columnar path (testing.AllocsPerRun
+# over 512 blocks; see layout_test.go and DESIGN.md, "Memory layout &
+# zero-copy scans").
+go test -run TestDrawSteadyStateAllocs ./internal/core/
