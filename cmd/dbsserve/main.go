@@ -20,6 +20,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +47,11 @@ func main() {
 		staleOK    = flag.Bool("stale-ok", false, "serve stale cached artifacts (X-DBS-Cache: stale) when a rebuild fails")
 		driftTol   = flag.Float64("drift-tol", 0, "relative drift budget for incremental builds after appends (0 = always rebuild exactly)")
 		prec       = flag.String("precision", "float64", "server-wide density evaluation arithmetic: float64 (exact contract) | float32 (faster, approximate); cache keys are unaffected")
+		trSample   = flag.Float64("trace-sample", 0, "fraction of request traces retained in /debug/traces (0 = none, 1 = all); the decision is a pure function of the trace ID")
+		slowMs     = flag.Int("slow-ms", 0, "slow-trace keeper: requests at or over this many milliseconds are always retained in /debug/traces (0 disables)")
+		accessLog  = flag.String("access-log", "", "structured JSON access log destination: a file path (appended) or - for stderr (empty disables)")
+		trRing     = flag.Int("trace-ring", 64, "capacity of each /debug/traces ring (recent and slow)")
+		trSeed     = flag.Uint64("trace-seed", 0, "deterministic trace-ID stream seed (0 = random); set for reproducible trace IDs in tests")
 	)
 	flag.Parse()
 
@@ -57,18 +63,34 @@ func main() {
 	if cache == 0 {
 		cache = -1 // Config treats negative as disabled, zero as default.
 	}
+	var accessW io.Writer
+	if *accessLog == "-" {
+		accessW = os.Stderr
+	} else if *accessLog != "" {
+		f, ferr := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			fatal("opening access log: %v", ferr)
+		}
+		defer f.Close()
+		accessW = f
+	}
 	srv := server.New(server.Config{
-		Parallelism:  *par,
-		Precision:    precision,
-		CacheBytes:   cache,
-		MaxInFlight:  *maxInFl,
-		MaxQueue:     *maxQueue,
-		Deadline:     *deadline,
-		Retry:        *retry,
-		StageTimeout: *stageWait,
-		StaleOK:      *staleOK,
-		DriftTol:     *driftTol,
-		Rec:          obs.New(),
+		Parallelism:   *par,
+		Precision:     precision,
+		CacheBytes:    cache,
+		MaxInFlight:   *maxInFl,
+		MaxQueue:      *maxQueue,
+		Deadline:      *deadline,
+		Retry:         *retry,
+		StageTimeout:  *stageWait,
+		StaleOK:       *staleOK,
+		DriftTol:      *driftTol,
+		Rec:           obs.New(),
+		TraceSample:   *trSample,
+		SlowThreshold: time.Duration(*slowMs) * time.Millisecond,
+		TraceRing:     *trRing,
+		TraceSeed:     *trSeed,
+		AccessLog:     accessW,
 	})
 
 	for _, arg := range flag.Args() {

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // Kind enumerates the injectable fault classes.
@@ -198,6 +199,36 @@ type Point struct {
 	site string
 	hash uint64
 	ops  atomic.Uint64
+
+	fired    atomic.Int64 // faults of any kind this point has injected
+	firedErr atomic.Int64 // ... that surfaced as errors (all but clean delays)
+}
+
+// Fired returns how many faults this point has injected (0 on nil).
+// The chaos suite reconciles it against the fault events recorded in
+// request traces.
+func (p *Point) Fired() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.fired.Load()
+}
+
+// FiredErrors returns how many injected faults surfaced as errors —
+// every kind except delay (0 on nil).
+func (p *Point) FiredErrors() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.firedErr.Load()
+}
+
+// Site returns the point's site name ("" on nil).
+func (p *Point) Site() string {
+	if p == nil {
+		return ""
+	}
+	return p.site
 }
 
 // next draws the decision for this site's next operation: the fault kind
@@ -228,6 +259,10 @@ func (p *Point) next() (Kind, uint64, uint64) {
 		return KindNone, 0, op
 	}
 	p.in.note()
+	p.fired.Add(1)
+	if kind != KindDelay {
+		p.firedErr.Add(1)
+	}
 	return kind, mix64(h ^ golden), op
 }
 
@@ -257,6 +292,11 @@ func (p *Point) Check(ctx context.Context) error {
 	case KindNone:
 		return nil
 	case KindDelay:
+		// A clean delay is the one fault kind that never surfaces as an
+		// error, so it must be trace-attributed here or it would be
+		// invisible; error kinds are recorded once by the retry layer
+		// from the error they return (no double counting).
+		trace.FromContext(ctx).Eventf("fault", "site=%s kind=delay op=%d", p.site, op)
 		return parallel.SleepCtx(ctx, p.delay(aux))
 	case KindPartial:
 		return p.errAt(KindError, op)

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Log2-bucketed latency histograms. Bucket upper bounds are exact
+// powers of two seconds, 2^histMinExp … 2^histMaxExp plus +Inf — about
+// one microsecond to about one minute, which brackets everything the
+// serving path produces (queue waits, cache hits, cold builds). Power-
+// of-two bounds make bucketing a single math.Frexp (no search, no
+// float division), and because the bounds are exact binary values the
+// Prometheus `le` labels render identically on every platform.
+//
+// A histogram never forgets: unlike the fixed-size latency ring it
+// replaced, counts and sums are cumulative over the process life, so
+// Prometheus rate() works and a burst of slow requests cannot be
+// rotated out of the digest by later fast ones.
+const (
+	histMinExp  = -20 // smallest finite bound: 2^-20 s ≈ 0.95 µs
+	histMaxExp  = 6   // largest finite bound: 64 s
+	histFinite  = histMaxExp - histMinExp + 1
+	histBuckets = histFinite + 1 // trailing +Inf bucket
+)
+
+// Label is one key=value dimension of a histogram series ("route",
+// "/v1/sample"). Labels are fixed at registration.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Histogram is a named, labelled, lock-free log2 histogram of seconds.
+// The only way to obtain one is Recorder.Histogram; a nil *Histogram
+// (from a nil Recorder) is a valid no-op handle.
+type Histogram struct {
+	name    string
+	labels  []Label
+	counts  [histBuckets]atomic.Int64
+	sumBits atomic.Uint64 // float64 sum of observations, CAS-updated
+	total   atomic.Int64
+}
+
+// histBucketFor maps an observation in seconds to its bucket index.
+// Returns -1 for NaN (skipped, matching the stats.Quantile NaN policy).
+func histBucketFor(v float64) int {
+	if math.IsNaN(v) {
+		return -1
+	}
+	if v <= 0 {
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac × 2^exp, frac ∈ [0.5, 1)
+	k := exp
+	if frac == 0.5 {
+		k = exp - 1 // exactly a power of two: belongs to its own bound
+	}
+	switch {
+	case k < histMinExp:
+		return 0
+	case k > histMaxExp:
+		return histBuckets - 1
+	default:
+		return k - histMinExp
+	}
+}
+
+// histUpperBound returns bucket i's inclusive upper bound in seconds
+// (+Inf for the last bucket).
+func histUpperBound(i int) float64 {
+	if i >= histFinite {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, histMinExp+i)
+}
+
+// Observe records one observation in seconds. NaN observations are
+// skipped. Lock-free and safe from any goroutine; no-op on nil.
+func (h *Histogram) Observe(seconds float64) {
+	if h == nil {
+		return
+	}
+	i := histBucketFor(seconds)
+	if i < 0 {
+		return
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + seconds)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of observations in seconds (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Name returns the histogram's registered name ("" on nil).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Labels returns a copy of the histogram's label set.
+func (h *Histogram) Labels() []Label {
+	if h == nil {
+		return nil
+	}
+	out := make([]Label, len(h.labels))
+	copy(out, h.labels)
+	return out
+}
+
+// Quantile estimates the q-quantile in seconds by linear interpolation
+// within the covering bucket. An empty histogram returns 0; q is
+// clamped to [0, 1]; observations in the +Inf bucket report the
+// largest finite bound (the histogram cannot resolve beyond it). The
+// estimate is monotone in q, so p99 ≥ p50 always holds — the property
+// /healthz consumers rely on.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	if rank < 1 {
+		rank = 1 // the first observation covers everything below it
+	}
+	cum := 0.0
+	for i := 0; i < histBuckets; i++ {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i >= histFinite {
+				return histUpperBound(histFinite - 1)
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = histUpperBound(i - 1)
+			}
+			upper := histUpperBound(i)
+			return lower + (rank-cum)/c*(upper-lower)
+		}
+		cum += c
+	}
+	return histUpperBound(histFinite - 1)
+}
+
+// BucketCounts returns a snapshot of the per-bucket counts (index
+// parallel to histUpperBound). Nil returns nil.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, histBuckets)
+	for i := range out {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// histKey builds the registry key for (name, labels). Labels are part
+// of the identity in the order given — call sites use one fixed order
+// per metric name, matching Prometheus exposition requirements.
+func histKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Histogram returns the shared handle for (name, labels), creating it
+// on first use. Returns nil (the no-op handle) on a nil Recorder.
+func (r *Recorder) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := histKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h := r.hists[key]
+	if h == nil {
+		ls := make([]Label, len(labels))
+		copy(ls, labels)
+		h = &Histogram{name: name, labels: ls}
+		r.hists[key] = h
+	}
+	return h
+}
+
+// Histograms returns the registered histograms sorted by name then
+// label values, for the deterministic report orderings.
+func (r *Recorder) Histograms() []*Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.histsSortedLocked()
+}
+
+func (r *Recorder) histsSortedLocked() []*Histogram {
+	if len(r.hists) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(r.hists))
+	for k := range r.hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		out[i] = r.hists[k]
+	}
+	return out
+}

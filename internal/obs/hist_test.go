@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistBucketFor(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},
+		{-1, 0},
+		{1e-9, 0},                            // below the smallest bound
+		{math.Ldexp(1, histMinExp), 0},       // exactly 2^-20: its own bound
+		{math.Ldexp(1, histMinExp) * 1.1, 1}, // just past it
+		{0.5, histFinite - 8},                // 2^-1
+		{1, histFinite - 7},                  // exactly 2^0
+		{1.5, histFinite - 6},                // (1, 2]
+		{64, histFinite - 1},                 // the top finite bound
+		{65, histBuckets - 1},                // +Inf bucket
+		{1e9, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histBucketFor(c.v); got != c.want {
+			t.Errorf("histBucketFor(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if histBucketFor(math.NaN()) != -1 {
+		t.Error("NaN should be skipped")
+	}
+	// Every finite bound lands in its own bucket (le is inclusive).
+	for i := 0; i < histFinite; i++ {
+		if got := histBucketFor(histUpperBound(i)); got != i {
+			t.Errorf("bound %g landed in bucket %d, want %d", histUpperBound(i), got, i)
+		}
+	}
+}
+
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("empty_seconds")
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("empty count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramNaNSkipped(t *testing.T) {
+	h := New().Histogram("h")
+	h.Observe(math.NaN())
+	h.Observe(0.25)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1 (NaN skipped)", h.Count())
+	}
+}
+
+func TestHistogramSingleBucketSaturation(t *testing.T) {
+	h := New().Histogram("h")
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.0013) // all in the (2^-10, 2^-9] bucket
+	}
+	lo, hi := math.Ldexp(1, -10), math.Ldexp(1, -9)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := h.Quantile(q)
+		if got < lo || got > hi {
+			t.Fatalf("Quantile(%g) = %g outside the only populated bucket [%g, %g]", q, got, lo, hi)
+		}
+	}
+	if p50, p99 := h.Quantile(0.5), h.Quantile(0.99); p99 < p50 {
+		t.Fatalf("p99 %g < p50 %g", p99, p50)
+	}
+	// Beyond the top bound everything saturates into +Inf; quantiles
+	// report the largest finite bound rather than inventing a value.
+	h2 := New().Histogram("h2")
+	for i := 0; i < 10; i++ {
+		h2.Observe(1e6)
+	}
+	if got, want := h2.Quantile(0.99), math.Ldexp(1, histMaxExp); got != want {
+		t.Fatalf("saturated Quantile = %g, want top bound %g", got, want)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := New().Histogram("h")
+	for _, v := range []float64{1e-5, 3e-4, 0.002, 0.002, 0.05, 0.8, 12, 70} {
+		h.Observe(v)
+	}
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%g) = %g < previous %g", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := New().Histogram("h")
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g+1) * 1e-4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	wantSum := 0.0
+	for g := 0; g < goroutines; g++ {
+		wantSum += float64(g+1) * 1e-4 * per
+	}
+	if math.Abs(h.Sum()-wantSum) > 1e-6*wantSum {
+		t.Fatalf("sum = %g, want ≈ %g", h.Sum(), wantSum)
+	}
+	total := int64(0)
+	for _, c := range h.BucketCounts() {
+		total += c
+	}
+	if total != goroutines*per {
+		t.Fatalf("bucket counts sum to %d, want %d", total, goroutines*per)
+	}
+}
+
+func TestHistogramHandleSharingAndLabels(t *testing.T) {
+	r := New()
+	a := r.Histogram("x_seconds", Label{Key: "route", Value: "/v1/sample"})
+	b := r.Histogram("x_seconds", Label{Key: "route", Value: "/v1/sample"})
+	c := r.Histogram("x_seconds", Label{Key: "route", Value: "/v1/cluster"})
+	if a != b {
+		t.Fatal("same (name, labels) must share a handle")
+	}
+	if a == c {
+		t.Fatal("different label values must not share a handle")
+	}
+	a.Observe(0.1)
+	if c.Count() != 0 {
+		t.Fatal("observation leaked across label values")
+	}
+	if got := len(r.Histograms()); got != 2 {
+		t.Fatalf("registered = %d, want 2", got)
+	}
+	var nilRec *Recorder
+	nh := nilRec.Histogram("x")
+	nh.Observe(1) // no-op, must not panic
+	if nh.Quantile(0.5) != 0 || nh.Count() != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"clean_name_total": PromPrefix + "clean_name_total",
+		"name:with:colons": PromPrefix + "name:with:colons",
+		"bad-name.total":   PromPrefix + "bad_name_total",
+		"sp ace\nnl":       PromPrefix + "sp_ace_nl",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":       "plain",
+		`back\slash`:  `back\\slash`,
+		`qu"ote`:      `qu\"ote`,
+		"new\nline":   `new\nline`,
+		"\\\"\n":      `\\\"\n`,
+		"draw/sample": "draw/sample",
+	}
+	for in, want := range cases {
+		if got := escapeLabelValue(in); got != want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusHardeningGolden pins the exposition for hostile metric
+// and label inputs: a dashed metric name is sanitized, and label values
+// with backslashes, quotes, and newlines are escaped per the text
+// format. A regression here corrupts every scrape.
+func TestPrometheusHardeningGolden(t *testing.T) {
+	r := New()
+	r.Counter("bad-name.total").Add(3)
+	r.Histogram("lat_seconds", Label{Key: "route", Value: "/v1/\"quoted\"\npath\\x"}).Observe(0.0001)
+	sp := r.StartSpan(`odd"span\path`)
+	sp.End()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE " + PromPrefix + "bad_name_total counter\n" + PromPrefix + "bad_name_total 3\n",
+		"# TYPE " + PromPrefix + "lat_seconds histogram\n",
+		PromPrefix + `lat_seconds_bucket{route="/v1/\"quoted\"\npath\\x",le="9.5367431640625e-07"} 0` + "\n",
+		PromPrefix + `lat_seconds_bucket{route="/v1/\"quoted\"\npath\\x",le="0.0001220703125"} 1` + "\n",
+		PromPrefix + `lat_seconds_bucket{route="/v1/\"quoted\"\npath\\x",le="+Inf"} 1` + "\n",
+		PromPrefix + `lat_seconds_sum{route="/v1/\"quoted\"\npath\\x"} 0.0001` + "\n",
+		PromPrefix + `lat_seconds_count{route="/v1/\"quoted\"\npath\\x"} 1` + "\n",
+		PromPrefix + `span_seconds{span="odd\"span\\path"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "bad-name") {
+		t.Fatal("unsanitized metric name leaked into exposition")
+	}
+}
+
+// TestPrometheusHistogramCumulative checks the bucket series is
+// cumulative and ends at the total count.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	r := New()
+	h := r.Histogram("d_seconds", Label{Key: "stage", Value: "est"})
+	h.Observe(0.001)
+	h.Observe(0.002)
+	h.Observe(100) // +Inf bucket
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(b.String(), "\n")
+	prev := int64(-1)
+	buckets := 0
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, PromPrefix+"d_seconds_bucket") {
+			continue
+		}
+		buckets++
+		var v int64
+		if _, err := fmtSscan(ln, &v); err != nil {
+			t.Fatalf("parsing %q: %v", ln, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket series not cumulative at %q", ln)
+		}
+		prev = v
+	}
+	if buckets != histBuckets {
+		t.Fatalf("bucket lines = %d, want %d", buckets, histBuckets)
+	}
+	if prev != 3 {
+		t.Fatalf("final cumulative bucket = %d, want 3", prev)
+	}
+	if !strings.Contains(b.String(), PromPrefix+`d_seconds_count{stage="est"} 3`) {
+		t.Fatal("missing _count line")
+	}
+}
+
+// fmtSscan pulls the trailing integer off an exposition line.
+func fmtSscan(line string, v *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return 0, errNoValue
+	}
+	var err error
+	*v, err = parseInt(line[i+1:])
+	if err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+var errNoValue = errNew("no value field")
+
+func errNew(s string) error { return &strErr{s} }
+
+type strErr struct{ s string }
+
+func (e *strErr) Error() string { return e.s }
+
+func parseInt(s string) (int64, error) {
+	var n int64
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, errNew("not an integer: " + s)
+		}
+		n = n*10 + int64(s[i]-'0')
+	}
+	return n, nil
+}

@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Canonical counter names. Stages share this catalogue so reports from
@@ -141,7 +143,9 @@ type Recorder struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	spans    map[string]*Span
+	hists    map[string]*Histogram
 	roots    []*Span
+	tr       *trace.Trace // optional span sink for the owning request
 	start    time.Time
 	now      func() time.Time // test hook; nil means time.Now
 }
@@ -267,6 +271,33 @@ func (r *Recorder) Merge(src *Recorder) {
 			r.Counter(name).Add(v)
 		}
 	}
+}
+
+// SetTrace attaches a request trace to the recorder: every span
+// opened after this forwards its outermost Begin/End transitions (and
+// the points attributed between them) to tr as trace events, so a
+// per-request Recorder gives the request's trace the whole pipeline
+// span tree — draw, scan, build stages — without any pipeline package
+// knowing about tracing. The trace never calls back into the recorder,
+// so the forwarding adds no lock ordering. No-op on a nil Recorder;
+// a nil trace detaches.
+func (r *Recorder) SetTrace(tr *trace.Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tr = tr
+	r.mu.Unlock()
+}
+
+// Trace returns the attached trace (nil when none, or on nil Recorder).
+func (r *Recorder) Trace() *trace.Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tr
 }
 
 // PoolRun records one parallel.Do invocation scheduling tasks items over

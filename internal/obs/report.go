@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Report rendering. All three formats are deterministic for a given
@@ -89,6 +90,21 @@ func (r *Recorder) WriteTree(w io.Writer) error {
 			b = append(b, fmt.Sprintf("  %-*s%s\n", width+2, n, formatFloat(r.gauges[n].Value()))...)
 		}
 	}
+	if hists := r.histsSortedLocked(); len(hists) > 0 {
+		b = append(b, "histograms:\n"...)
+		labels := make([]string, len(hists))
+		width := 0
+		for i, h := range hists {
+			labels[i] = histDisplayName(h)
+			if len(labels[i]) > width {
+				width = len(labels[i])
+			}
+		}
+		for i, h := range hists {
+			b = append(b, fmt.Sprintf("  %-*s%12d obs  p50 %.3fms  p99 %.3fms\n",
+				width+2, labels[i], h.Count(), h.Quantile(0.5)*1e3, h.Quantile(0.99)*1e3)...)
+		}
+	}
 	if len(b) == 0 {
 		b = []byte("no observations recorded\n")
 	}
@@ -106,10 +122,22 @@ type spanJSON struct {
 	Children  []spanJSON `json:"children,omitempty"`
 }
 
+// histJSON is a histogram digest: count, sum, and the two quantiles
+// the serving layer's health endpoint reports.
+type histJSON struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Count  int64             `json:"count"`
+	SumSec float64           `json:"sum_seconds"`
+	P50Sec float64           `json:"p50_seconds"`
+	P99Sec float64           `json:"p99_seconds"`
+}
+
 type reportJSON struct {
-	Counters map[string]int64   `json:"counters"`
-	Gauges   map[string]float64 `json:"gauges"`
-	Spans    []spanJSON         `json:"spans"`
+	Counters   map[string]int64   `json:"counters"`
+	Gauges     map[string]float64 `json:"gauges"`
+	Histograms []histJSON         `json:"histograms,omitempty"`
+	Spans      []spanJSON         `json:"spans"`
 }
 
 // WriteJSON writes the full recorder state as indented JSON with stable
@@ -130,6 +158,22 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 	}
 	for n, g := range r.gauges {
 		rep.Gauges[n] = g.Value()
+	}
+	for _, h := range r.histsSortedLocked() {
+		j := histJSON{
+			Name:   h.name,
+			Count:  h.Count(),
+			SumSec: h.Sum(),
+			P50Sec: h.Quantile(0.5),
+			P99Sec: h.Quantile(0.99),
+		}
+		if len(h.labels) > 0 {
+			j.Labels = make(map[string]string, len(h.labels))
+			for _, l := range h.labels {
+				j.Labels[l.Key] = l.Value
+			}
+		}
+		rep.Histograms = append(rep.Histograms, j)
 	}
 	var conv func(s *Span) spanJSON
 	conv = func(s *Span) spanJSON {
@@ -172,12 +216,35 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 	defer r.mu.Unlock()
 	var b []byte
 	for _, n := range r.counterNames() {
-		b = append(b, fmt.Sprintf("# TYPE %s%s counter\n%s%s %d\n",
-			PromPrefix, n, PromPrefix, n, r.counters[n].Value())...)
+		m := promName(n)
+		b = append(b, fmt.Sprintf("# TYPE %s counter\n%s %d\n",
+			m, m, r.counters[n].Value())...)
 	}
 	for _, n := range r.gaugeNames() {
-		b = append(b, fmt.Sprintf("# TYPE %s%s gauge\n%s%s %s\n",
-			PromPrefix, n, PromPrefix, n, formatFloat(r.gauges[n].Value()))...)
+		m := promName(n)
+		b = append(b, fmt.Sprintf("# TYPE %s gauge\n%s %s\n",
+			m, m, formatFloat(r.gauges[n].Value()))...)
+	}
+	for _, group := range groupHists(r.histsSortedLocked()) {
+		m := promName(group[0].name)
+		b = append(b, fmt.Sprintf("# TYPE %s histogram\n", m)...)
+		for _, h := range group {
+			counts := h.BucketCounts()
+			cum := int64(0)
+			for i, c := range counts {
+				cum += c
+				le := "+Inf"
+				if i < histFinite {
+					le = formatFloat(histUpperBound(i))
+				}
+				b = append(b, fmt.Sprintf("%s_bucket{%s} %d\n",
+					m, promLabels(h.labels, "le", le), cum)...)
+			}
+			b = append(b, fmt.Sprintf("%s_sum{%s} %s\n",
+				m, promLabels(h.labels), formatFloat(h.Sum()))...)
+			b = append(b, fmt.Sprintf("%s_count{%s} %d\n",
+				m, promLabels(h.labels), h.Count())...)
+		}
 	}
 	if len(r.spans) > 0 {
 		paths := make([]string, 0, len(r.spans))
@@ -187,17 +254,131 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 		sort.Strings(paths)
 		b = append(b, fmt.Sprintf("# TYPE %sspan_seconds gauge\n", PromPrefix)...)
 		for _, p := range paths {
-			b = append(b, fmt.Sprintf("%sspan_seconds{span=%q} %s\n",
-				PromPrefix, p, formatFloat(r.spans[p].durationLocked().Seconds()))...)
+			b = append(b, fmt.Sprintf("%sspan_seconds{span=\"%s\"} %s\n",
+				PromPrefix, escapeLabelValue(p), formatFloat(r.spans[p].durationLocked().Seconds()))...)
 		}
 		b = append(b, fmt.Sprintf("# TYPE %sspan_points gauge\n", PromPrefix)...)
 		for _, p := range paths {
-			b = append(b, fmt.Sprintf("%sspan_points{span=%q} %d\n",
-				PromPrefix, p, r.spans[p].points.Load())...)
+			b = append(b, fmt.Sprintf("%sspan_points{span=\"%s\"} %d\n",
+				PromPrefix, escapeLabelValue(p), r.spans[p].points.Load())...)
 		}
 	}
 	_, err := w.Write(b)
 	return err
+}
+
+// groupHists splits the sorted histogram list into runs sharing a
+// metric name, so each name gets exactly one # TYPE line.
+func groupHists(hists []*Histogram) [][]*Histogram {
+	var groups [][]*Histogram
+	for _, h := range hists {
+		if n := len(groups); n > 0 && groups[n-1][0].name == h.name {
+			groups[n-1] = append(groups[n-1], h)
+		} else {
+			groups = append(groups, []*Histogram{h})
+		}
+	}
+	return groups
+}
+
+// promName sanitizes a metric name into the Prometheus charset
+// [a-zA-Z0-9_:] under PromPrefix: any other byte becomes '_'. Names
+// from the canonical catalogues pass through unchanged; the sanitizer
+// exists so a hostile or buggy dynamic name (a route with a dash, say)
+// cannot corrupt the exposition.
+func promName(name string) string {
+	clean := true
+	for i := 0; i < len(name); i++ {
+		if !isPromNameByte(name[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return PromPrefix + name
+	}
+	b := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		if isPromNameByte(name[i]) {
+			b[i] = name[i]
+		} else {
+			b[i] = '_'
+		}
+	}
+	return PromPrefix + string(b)
+}
+
+func isPromNameByte(c byte) bool {
+	return c == '_' || c == ':' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// escapeLabelValue escapes a label value per the text exposition
+// format: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set (plus optional trailing key/value
+// pairs, used for "le") with escaped values, in declaration order.
+func promLabels(labels []Label, extra ...string) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(l.Key)[len(PromPrefix):])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if b.Len() > 0 || i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extra[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// histDisplayName renders name{k=v,...} for the tree report.
+func histDisplayName(h *Histogram) string {
+	if len(h.labels) == 0 {
+		return h.name
+	}
+	var b strings.Builder
+	b.WriteString(h.name)
+	b.WriteByte('{')
+	for i, l := range h.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 func formatFloat(v float64) string {

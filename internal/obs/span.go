@@ -26,6 +26,7 @@ type Span struct {
 	open    int
 	total   time.Duration
 	ended   bool
+	openPts int64 // points total when the outermost Begin opened
 }
 
 // StartSpan opens (or re-opens) the span at path, creating any missing
@@ -39,6 +40,11 @@ func (r *Recorder) StartSpan(path string) *Span {
 	s := r.spanNodeLocked(path)
 	if s.open == 0 {
 		s.started = r.clock()
+		s.openPts = s.points.Load()
+		// Forward the outermost open to the request trace, if one is
+		// attached. The trace never calls back into the recorder, so
+		// holding r.mu across this is safe.
+		r.tr.Begin(path)
 	}
 	s.open++
 	return s
@@ -84,6 +90,7 @@ func (s *Span) End() {
 	if s.open == 0 {
 		s.total += r.clock().Sub(s.started)
 		s.ended = true
+		r.tr.End(s.path, s.points.Load()-s.openPts)
 	}
 }
 

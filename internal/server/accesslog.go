@@ -1,0 +1,44 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// accessRecord is one structured access-log line. Field order fixes
+// the JSON key order; durations are milliseconds throughout, matching
+// the /healthz digest.
+type accessRecord struct {
+	Time    string             `json:"time"`
+	TraceID string             `json:"trace_id"`
+	Route   string             `json:"route"`
+	Status  int                `json:"status"`
+	DurMs   float64            `json:"dur_ms"`
+	QueueMs float64            `json:"queue_ms"`
+	Cache   string             `json:"cache,omitempty"`
+	Bytes   int64              `json:"bytes"`
+	Slow    bool               `json:"slow,omitempty"`
+	Stages  map[string]float64 `json:"stages_ms,omitempty"`
+}
+
+// accessLogger serializes one JSON line per completed request to its
+// writer. The mutex makes whole lines atomic under concurrent request
+// completion — interleaved halves of two lines would corrupt a log
+// processor — and a write error drops the line rather than failing the
+// request that produced it.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *accessLogger) log(rec accessRecord) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	l.w.Write(b)
+	l.mu.Unlock()
+}

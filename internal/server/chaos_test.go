@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/faults"
 	"repro/internal/geom"
+	"repro/internal/trace"
 )
 
 // chaosReqs is the fixed request mix every chaos run replays: two
@@ -162,6 +164,161 @@ func TestChaosServingInvariants(t *testing.T) {
 	}
 	t.Logf("chaos: %d seeds, %d faults injected, %d ok, %d shed/failed",
 		seeds, injectedTotal, okTotal, failTotal)
+	checkLeaks()
+}
+
+// faultEventsBySite counts "fault" span events per injection site across
+// a set of retained trace snapshots.
+func faultEventsBySite(snaps []trace.Snapshot) map[string]int64 {
+	out := make(map[string]int64)
+	for _, snap := range snaps {
+		for _, e := range snap.Events {
+			if e.Path != "fault" {
+				continue
+			}
+			for _, f := range strings.Fields(e.Note) {
+				if site, ok := strings.CutPrefix(f, "site="); ok {
+					out[site]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestChaosTraceAttribution replays the chaos mix with full trace
+// retention and reconciles the injector's books against the traces:
+// every fault fired at a build-stage check site appears as exactly one
+// "fault" event in the request trace that suffered it (delays are
+// recorded at the injection point, error kinds once by the retry
+// layer), dataset-wrapper faults never exceed their fired-error count
+// (the wrapper has no request context, so only errors that surface are
+// attributable), every completed trace closes all its spans, and the
+// trace ring stays within its bound on every schedule.
+func TestChaosTraceAttribution(t *testing.T) {
+	checkLeaks := leakCheck(t)
+	mem := dataset.MustInMemory(testPoints(600, 2, 11))
+
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	var injectedTotal, attributedTotal int64
+	for seed := 1; seed <= seeds; seed++ {
+		inj := faults.New(faults.Config{
+			Seed:     uint64(seed),
+			PError:   0.15,
+			PDelay:   0.10,
+			PPartial: 0.10,
+			PCancel:  0.05,
+			MaxDelay: 500 * time.Microsecond,
+		})
+		cfg := chaosConfig(inj)
+		cfg.TraceSample = 1
+		cfg.TraceSeed = uint64(seed)
+		cfg.TraceRing = 2 * len(chaosReqs)
+		srv := New(cfg)
+		dsPoint := inj.Point("dataset")
+		if err := srv.Registry().RegisterDataset("pts", faults.Wrap(mem, dsPoint)); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		// Sequential replay: each request's faults land in its own trace,
+		// so the per-site reconciliation below is exact.
+		for _, rq := range chaosReqs {
+			status, hdr, data := postRaw(t, ts.URL+rq.path, rq.body)
+			switch status {
+			case http.StatusOK, http.StatusTooManyRequests,
+				http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			default:
+				t.Errorf("seed %d %s: unexpected status %d: %s", seed, rq.name, status, data)
+			}
+			if hdr.Get(TraceHeader) == "" {
+				t.Errorf("seed %d %s: missing %s header", seed, rq.name, TraceHeader)
+			}
+		}
+		ts.Close()
+
+		if srv.traces.Len() > srv.traces.Cap() {
+			t.Fatalf("seed %d: trace ring len %d exceeds cap %d", seed, srv.traces.Len(), srv.traces.Cap())
+		}
+		snaps := srv.traces.Snapshots()
+		if len(snaps) != len(chaosReqs) {
+			t.Errorf("seed %d: retained %d traces, want %d (sample rate 1)", seed, len(snaps), len(chaosReqs))
+		}
+		for _, snap := range snaps {
+			if snap.Orphans != 0 {
+				t.Errorf("seed %d: trace %s has %d orphan spans", seed, snap.ID, snap.Orphans)
+			}
+			if snap.Dropped != 0 {
+				t.Errorf("seed %d: trace %s dropped %d events", seed, snap.ID, snap.Dropped)
+			}
+		}
+		events := faultEventsBySite(snaps)
+		for _, p := range []*faults.Point{srv.pEst, srv.pSample} {
+			if got, want := events[p.Site()], p.Fired(); got != want {
+				t.Errorf("seed %d: site %s fired %d faults but traces record %d events",
+					seed, p.Site(), want, got)
+			}
+		}
+		if got := events[dsPoint.Site()]; got > dsPoint.FiredErrors() {
+			t.Errorf("seed %d: dataset site recorded %d events for %d surfaced errors",
+				seed, got, dsPoint.FiredErrors())
+		}
+		injectedTotal += inj.Injected()
+		for _, n := range events {
+			attributedTotal += n
+		}
+	}
+	if injectedTotal == 0 {
+		t.Error("no faults fired across any seed — the attribution run tested nothing")
+	}
+	if attributedTotal == 0 {
+		t.Error("no fault was ever attributed to a trace — attribution machinery is dead")
+	}
+	t.Logf("chaos traces: %d seeds, %d faults injected, %d attributed in traces",
+		seeds, injectedTotal, attributedTotal)
+	checkLeaks()
+}
+
+// TestChaosTraceRingBounded replays the request mix many times against
+// one fully-traced server and checks retention stays bounded: the
+// rings never outgrow their caps while the admission total keeps
+// counting, so long-lived servers cannot leak trace memory.
+func TestChaosTraceRingBounded(t *testing.T) {
+	checkLeaks := leakCheck(t)
+	cfg := chaosConfig(nil)
+	cfg.TraceSample = 1
+	cfg.TraceSeed = 1
+	cfg.TraceRing = 8
+	cfg.SlowThreshold = time.Nanosecond // every request also lands in the slow ring
+	srv := New(cfg)
+	if err := srv.Registry().RegisterDataset("pts", dataset.MustInMemory(testPoints(600, 2, 11))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	schedules := 60
+	if testing.Short() {
+		schedules = 12
+	}
+	for i := 0; i < schedules; i++ {
+		for _, rq := range chaosReqs {
+			if status, _, data := postRaw(t, ts.URL+rq.path, rq.body); status != http.StatusOK {
+				t.Fatalf("schedule %d %s: %d: %s", i, rq.name, status, data)
+			}
+		}
+	}
+	want := int64(schedules * len(chaosReqs))
+	if got := srv.traces.Total(); got != want {
+		t.Errorf("recent ring admitted %d traces, want %d", got, want)
+	}
+	for name, ring := range map[string]*trace.Ring{"recent": srv.traces, "slow": srv.slowTrace} {
+		if ring.Len() > ring.Cap() || ring.Cap() != cfg.TraceRing {
+			t.Errorf("%s ring len %d cap %d, want len <= cap == %d", name, ring.Len(), ring.Cap(), cfg.TraceRing)
+		}
+	}
 	checkLeaks()
 }
 

@@ -20,10 +20,12 @@ import (
 	"repro/internal/obs"
 	"repro/internal/outlier"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
 	s.mux.HandleFunc("POST /v1/datasets/{name}/append", s.compute("/v1/datasets/append", s.handleAppend))
@@ -40,34 +42,54 @@ func (s *Server) routes() {
 type computeHandler func(ctx context.Context, rec *obs.Recorder, w http.ResponseWriter, r *http.Request)
 
 // compute wraps a pipeline endpoint with admission control, the request
-// deadline, latency recording, and observability rollup. Cache state and
-// timing travel in headers only — response bodies stay a pure function of
-// (dataset, params, seed).
+// deadline, request tracing, latency recording, and observability
+// rollup. Cache state, timing, and the trace ID travel in headers only —
+// response bodies stay a pure function of (dataset, params, seed), and
+// tracing never consumes RNG state, so responses are bit-identical with
+// tracing disabled, sampled, or always-on.
+//
+// Every outcome flows through observe and finishRequest: a shed request
+// (429/503/504) gets a trace ID, lands in the route histogram, and is
+// access-logged just like a success.
 func (s *Server) compute(route string, fn computeHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.rec.Counter(CtrRequests).Inc()
+		id := s.ids.Next()
+		w.Header().Set(TraceHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		var tr *trace.Trace
+		if s.traceOn {
+			tr = trace.New(id)
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Deadline)
 		defer cancel()
+		ctx = trace.NewContext(ctx, tr)
+		defer func() {
+			s.observe(route, start)
+			s.finishRequest(tr, route, sw, start)
+		}()
 
+		tr.Begin("admission/wait")
 		release, err := s.adm.Enter(ctx)
+		tr.End("admission/wait", 0)
 		if err != nil {
 			s.syncShedCounters()
 			switch {
 			case errors.Is(err, ErrDraining):
-				w.Header().Set("Retry-After", "5")
-				s.fail(w, http.StatusServiceUnavailable, "draining")
+				sw.Header().Set("Retry-After", "5")
+				s.fail(sw, http.StatusServiceUnavailable, "draining")
 			case errors.Is(err, ErrQueueExpired):
 				// The deadline passed while queued: the server is too
 				// slow for this client right now, not just momentarily
 				// full — tell it (and load balancers) to back off.
-				w.Header().Set("Retry-After", s.retryAfterHint())
-				s.fail(w, http.StatusServiceUnavailable, "overloaded: deadline expired while queued")
+				sw.Header().Set("Retry-After", s.retryAfterHint())
+				s.fail(sw, http.StatusServiceUnavailable, "overloaded: deadline expired while queued")
 			case errors.Is(err, ErrSaturated):
-				w.Header().Set("Retry-After", "1")
-				s.fail(w, http.StatusTooManyRequests, "saturated: %d in flight, queue full", s.adm.InFlight())
+				sw.Header().Set("Retry-After", "1")
+				s.fail(sw, http.StatusTooManyRequests, "saturated: %d in flight, queue full", s.adm.InFlight())
 			default:
-				s.fail(w, http.StatusInternalServerError, "%v", err)
+				s.fail(sw, http.StatusInternalServerError, "%v", err)
 			}
 			return
 		}
@@ -75,11 +97,9 @@ func (s *Server) compute(route string, fn computeHandler) http.HandlerFunc {
 		s.syncGauges()
 
 		rec := obs.New()
-		defer func() {
-			s.rec.Merge(rec)
-			s.observe(route, start)
-		}()
-		fn(ctx, rec, w, r)
+		rec.SetTrace(tr)
+		defer s.rec.Merge(rec)
+		fn(ctx, rec, sw, r)
 	}
 }
 
@@ -302,7 +322,7 @@ func (s *Server) handleAppend(ctx context.Context, rec *obs.Recorder, w http.Res
 	span := rec.StartSpan("server/append")
 	defer span.End()
 	name := r.PathValue("name")
-	h, err := s.reg.Acquire(name)
+	h, err := s.acquireTraced(ctx, name)
 	if err != nil {
 		s.acquireFail(w, err)
 		return
@@ -446,6 +466,8 @@ func (s *Server) estimatorAt(ctx context.Context, rec *obs.Recorder, h *Handle, 
 	if err != nil {
 		return nil, OutcomeMiss, err
 	}
+	tr := trace.FromContext(ctx)
+	t0 := tr.Now()
 	v, out, err := s.cache.GetOrBuild(p.key(fp), func() (any, int64, error) {
 		if s.exactAt(h, g) {
 			return s.buildEstimator(ctx, rec, h, p, g)
@@ -453,6 +475,12 @@ func (s *Server) estimatorAt(ctx context.Context, rec *obs.Recorder, h *Handle, 
 		return s.extendEstimator(ctx, rec, h, p, g)
 	})
 	s.syncCacheCounters()
+	// The cache event spans the whole lookup (including a singleflight
+	// wait or the build itself) and notes the outcome: a hit's trace
+	// shows this event and no scan spans at all.
+	if tr != nil {
+		tr.Add("cache/est", t0, tr.Now(), 0, fmt.Sprintf("%s gen=%d", out, g))
+	}
 	if err != nil {
 		return nil, out, err
 	}
@@ -622,6 +650,8 @@ func (s *Server) sampleAt(ctx context.Context, rec *obs.Recorder, h *Handle, q s
 	if err != nil {
 		return nil, OutcomeMiss, err
 	}
+	tr := trace.FromContext(ctx)
+	t0 := tr.Now()
 	v, out, err := s.cache.GetOrBuild(q.key(fp, p), func() (any, int64, error) {
 		if q.OnePass || s.exactAt(h, g) {
 			return s.buildSample(ctx, rec, h, q, p, g)
@@ -629,6 +659,9 @@ func (s *Server) sampleAt(ctx context.Context, rec *obs.Recorder, h *Handle, q s
 		return s.extendSample(ctx, rec, h, q, p, g)
 	})
 	s.syncCacheCounters()
+	if tr != nil {
+		tr.Add("cache/sample", t0, tr.Now(), 0, fmt.Sprintf("%s gen=%d", out, g))
+	}
 	if err != nil {
 		return nil, out, err
 	}
@@ -753,7 +786,7 @@ func (s *Server) handleSample(ctx context.Context, rec *obs.Recorder, w http.Res
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	h, err := s.reg.Acquire(req.Dataset)
+	h, err := s.acquireTraced(ctx, req.Dataset)
 	if err != nil {
 		s.acquireFail(w, err)
 		return
@@ -781,6 +814,22 @@ func (s *Server) handleSample(ctx context.Context, rec *obs.Recorder, w http.Res
 		Count:       len(pts),
 		Points:      pts,
 	})
+}
+
+// acquireTraced is reg.Acquire with the lookup recorded as a trace
+// event (the registry acquire leg of the request's span tree).
+func (s *Server) acquireTraced(ctx context.Context, name string) (*Handle, error) {
+	tr := trace.FromContext(ctx)
+	t0 := tr.Now()
+	h, err := s.reg.Acquire(name)
+	if tr != nil {
+		note := "dataset=" + name
+		if err != nil {
+			note += " error"
+		}
+		tr.Add("registry/acquire", t0, tr.Now(), 0, note)
+	}
+	return h, err
 }
 
 func (s *Server) acquireFail(w http.ResponseWriter, err error) {
@@ -836,7 +885,7 @@ func (s *Server) handleCluster(ctx context.Context, rec *obs.Recorder, w http.Re
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	h, err := s.reg.Acquire(req.Dataset)
+	h, err := s.acquireTraced(ctx, req.Dataset)
 	if err != nil {
 		s.acquireFail(w, err)
 		return
@@ -925,7 +974,7 @@ func (s *Server) handleOutliers(ctx context.Context, rec *obs.Recorder, w http.R
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	h, err := s.reg.Acquire(req.Dataset)
+	h, err := s.acquireTraced(ctx, req.Dataset)
 	if err != nil {
 		s.acquireFail(w, err)
 		return

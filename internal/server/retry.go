@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // isTransient classifies an error as worth retrying: injected faults,
@@ -53,6 +54,8 @@ func (s *Server) runStage(ctx context.Context, rec *obs.Recorder, stage string, 
 	if attempts < 1 {
 		attempts = 1
 	}
+	tr := trace.FromContext(ctx)
+	hist := s.rec.Histogram(HistStageSeconds, obs.Label{Key: "stage", Value: stage})
 	var rng *stats.RNG
 	var err error
 	for i := 0; i < attempts; i++ {
@@ -61,12 +64,30 @@ func (s *Server) runStage(ctx context.Context, rec *obs.Recorder, stage string, 
 		if s.cfg.StageTimeout > 0 {
 			sctx, cancel = context.WithTimeout(ctx, s.cfg.StageTimeout)
 		}
+		// Each attempt is one span occurrence at the stage path (the
+		// recorder forwards it to the request trace, so a retried stage
+		// shows sibling attempt spans) and one stage-histogram
+		// observation on the server recorder.
+		t0 := time.Now()
+		span := rec.StartSpan(stage)
 		err = f(sctx)
+		span.End()
+		hist.Observe(time.Since(t0).Seconds())
 		if cancel != nil {
 			cancel()
 		}
 		if err == nil {
 			return nil
+		}
+		// An injected fault is attributed to the request's trace here,
+		// from the error it produced — exactly once, whatever the stage
+		// outcome (faults.Point.Check records only clean delays itself,
+		// which never surface as errors).
+		if tr != nil {
+			var ie *faults.InjectedError
+			if errors.As(err, &ie) {
+				tr.Eventf("fault", "site=%s kind=%s op=%d", ie.Site, ie.Kind, ie.Op)
+			}
 		}
 		if ctx.Err() != nil {
 			// The request itself is dead; retrying would burn a slot on
@@ -84,7 +105,9 @@ func (s *Server) runStage(ctx context.Context, rec *obs.Recorder, stage string, 
 			rng = stats.NewRNG(seed ^ faults.SiteHash(stage))
 		}
 		back := float64(s.cfg.RetryBackoff << uint(i))
-		if d := time.Duration((0.5 + 0.5*rng.Float64()) * back); d > 0 {
+		d := time.Duration((0.5 + 0.5*rng.Float64()) * back)
+		tr.Eventf("retry", "stage=%s attempt=%d backoff=%s", stage, i+1, d)
+		if d > 0 {
 			if parallel.SleepCtx(ctx, d) != nil {
 				return err
 			}

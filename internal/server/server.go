@@ -1,17 +1,16 @@
 package server
 
 import (
+	"io"
 	"net/http"
-	"sort"
 	"strconv"
-	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/parallel"
-	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Server-level counter and gauge names, joining the catalogue in
@@ -31,6 +30,22 @@ const (
 	GaugeInFlight   = "server_in_flight"
 	GaugeCacheBytes = "server_cache_bytes"
 )
+
+// Histogram names: request latency per route and build-stage latency
+// per stage, both log2-bucketed (see internal/obs). They replace the
+// fixed-size latency ring: cumulative process-life distributions that
+// Prometheus can rate(), instead of a 512-sample window that a burst
+// could rotate out of.
+const (
+	HistRequestSeconds = "server_request_seconds" // label: route
+	HistStageSeconds   = "server_stage_seconds"   // label: stage
+)
+
+// TraceHeader is the response header carrying the request's trace ID.
+// It is set on every compute response — success, pipeline failure, and
+// shed (429/503/504) alike — so a client error report can always be
+// joined against the access log and /debug/traces.
+const TraceHeader = "X-DBS-Trace"
 
 // Config sizes the serving layer. The zero value is usable: all-CPU
 // parallelism, a 256 MiB artifact cache, in-flight admission matched to
@@ -93,6 +108,35 @@ type Config struct {
 	// request's rolled-up pipeline counters. A fresh Recorder is created
 	// when nil.
 	Rec *obs.Recorder
+	// TraceSample is the fraction of requests whose completed traces
+	// are retained in the /debug/traces recent ring. The decision is a
+	// pure function of the trace ID (trace.SampleID) — no RNG state is
+	// consumed, so sampling can never perturb responses. 0 disables the
+	// recent ring; ≥ 1 retains every request.
+	TraceSample float64
+	// SlowThreshold is the slow-trace keeper: a request lasting at
+	// least this long is always retained in the slow ring, whatever the
+	// sample rate. 0 disables the keeper.
+	SlowThreshold time.Duration
+	// TraceRing is the capacity of each trace ring (default 64). Memory
+	// is bounded by 2 × TraceRing × trace.MaxEvents however many
+	// requests pass through.
+	TraceRing int
+	// TraceSeed seeds the trace-ID stream deterministically (tests and
+	// chaos runs name a trace by request order); 0 seeds randomly.
+	TraceSeed uint64
+	// AccessLog, when non-nil, receives one JSON line per completed
+	// compute request: trace ID, route, status, cache outcome, queue
+	// wait, and the per-stage latency breakdown.
+	AccessLog io.Writer
+}
+
+// tracingEnabled reports whether requests collect traces: any consumer
+// of per-request events (sampling ring, slow keeper, access log) turns
+// collection on; with none, requests carry a nil trace and the whole
+// layer costs a header write and a few nil checks.
+func (c *Config) tracingEnabled() bool {
+	return c.TraceSample > 0 || c.SlowThreshold > 0 || c.AccessLog != nil
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +167,9 @@ func (c Config) withDefaults() Config {
 	if c.Rec == nil {
 		c.Rec = obs.New()
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 64
+	}
 	return c
 }
 
@@ -144,8 +191,14 @@ type Server struct {
 	pSampleDelta *faults.Point
 	pAppend      *faults.Point
 
-	latMu sync.Mutex
-	lat   map[string]*latRing
+	// Request tracing: the ID stream (every compute response gets an
+	// ID), the sampled recent ring and the always-kept slow ring served
+	// by /debug/traces, and the structured access log.
+	ids       *trace.IDSource
+	traces    *trace.Ring
+	slowTrace *trace.Ring
+	accessLog *accessLogger
+	traceOn   bool
 }
 
 // New builds a Server from cfg.
@@ -162,12 +215,18 @@ func New(cfg Config) *Server {
 		adm:          NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		rec:          cfg.Rec,
 		mux:          http.NewServeMux(),
-		lat:          make(map[string]*latRing),
 		pEst:         cfg.Faults.Point("server/build/est"),
 		pSample:      cfg.Faults.Point("server/build/sample"),
 		pEstDelta:    cfg.Faults.Point("server/build/est_delta"),
 		pSampleDelta: cfg.Faults.Point("server/build/sample_delta"),
 		pAppend:      cfg.Faults.Point("server/append"),
+		ids:          trace.NewIDSource(cfg.TraceSeed),
+		traces:       trace.NewRing(cfg.TraceRing),
+		slowTrace:    trace.NewRing(cfg.TraceRing),
+		traceOn:      cfg.tracingEnabled(),
+	}
+	if cfg.AccessLog != nil {
+		s.accessLog = &accessLogger{w: cfg.AccessLog}
 	}
 	s.routes()
 	return s
@@ -189,46 +248,11 @@ func (s *Server) Recorder() *obs.Recorder { return s.rec }
 // Pair it with http.Server.Shutdown, which waits for in-flight handlers.
 func (s *Server) StartDraining() { s.adm.StartDraining() }
 
-// latRing keeps the last ringSize request latencies per route; /healthz
-// reports p50/p99 over the window via stats.Quantile.
-const ringSize = 512
-
-type latRing struct {
-	mu   sync.Mutex
-	buf  [ringSize]float64
-	n    int // total observations (saturates accounting at ringSize)
-	next int
-}
-
-func (r *latRing) add(ms float64) {
-	r.mu.Lock()
-	r.buf[r.next] = ms
-	r.next = (r.next + 1) % ringSize
-	if r.n < ringSize {
-		r.n++
-	}
-	r.mu.Unlock()
-}
-
-func (r *latRing) snapshot() []float64 {
-	r.mu.Lock()
-	out := append([]float64(nil), r.buf[:r.n]...)
-	r.mu.Unlock()
-	return out
-}
-
-func (s *Server) latFor(route string) *latRing {
-	s.latMu.Lock()
-	defer s.latMu.Unlock()
-	lr := s.lat[route]
-	if lr == nil {
-		lr = &latRing{}
-		s.lat[route] = lr
-	}
-	return lr
-}
-
-// LatencySummary is the /healthz per-route latency digest.
+// LatencySummary is the /healthz per-route latency digest. The JSON
+// keys predate the histogram backend (they were a ring digest) and are
+// frozen: count, p50_ms, p99_ms. Quantiles are now log2-histogram
+// interpolations — monotone in q, so p99 ≥ p50 — and the count is the
+// exact process-life request count for the route, not a window.
 type LatencySummary struct {
 	Count int     `json:"count"`
 	P50ms float64 `json:"p50_ms"`
@@ -236,33 +260,39 @@ type LatencySummary struct {
 }
 
 func (s *Server) latencySummaries() map[string]LatencySummary {
-	s.latMu.Lock()
-	routes := make([]string, 0, len(s.lat))
-	for route := range s.lat {
-		routes = append(routes, route)
-	}
-	s.latMu.Unlock()
-	sort.Strings(routes)
-
-	out := make(map[string]LatencySummary, len(routes))
-	for _, route := range routes {
-		xs := s.latFor(route).snapshot()
-		if len(xs) == 0 {
+	var out map[string]LatencySummary
+	for _, h := range s.rec.Histograms() {
+		if h.Name() != HistRequestSeconds || h.Count() == 0 {
 			continue
 		}
+		route := ""
+		for _, l := range h.Labels() {
+			if l.Key == "route" {
+				route = l.Value
+			}
+		}
+		if route == "" {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]LatencySummary)
+		}
 		out[route] = LatencySummary{
-			Count: len(xs),
-			P50ms: stats.Quantile(xs, 0.50),
-			P99ms: stats.Quantile(xs, 0.99),
+			Count: int(h.Count()),
+			P50ms: h.Quantile(0.50) * 1e3,
+			P99ms: h.Quantile(0.99) * 1e3,
 		}
 	}
 	return out
 }
 
-// observe records a finished request into the route's latency ring and
-// the server counters/gauges.
+// observe records a finished request into the route's latency
+// histogram and the server gauges. It runs for every outcome — success,
+// pipeline failure, and shed — so 429/503/504 responses appear in the
+// route's digest instead of vanishing from it.
 func (s *Server) observe(route string, start time.Time) {
-	s.latFor(route).add(float64(time.Since(start)) / float64(time.Millisecond))
+	s.rec.Histogram(HistRequestSeconds, obs.Label{Key: "route", Value: route}).
+		Observe(time.Since(start).Seconds())
 	s.syncGauges()
 }
 

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// statusWriter records the status code and body bytes a handler wrote,
+// so the compute wrapper can observe every outcome — including the
+// error paths that write through fail() — into the route histogram,
+// the access log, and the trace snapshot.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// status returns the response code (200 if the handler never set one).
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// finishRequest seals a completed compute request: the trace snapshot
+// is filed into the slow ring (always, past the threshold) and the
+// recent ring (by the deterministic ID-sampling decision), and the
+// access-log line is emitted. tr may be nil (tracing disabled) — the
+// access logger then logs without a stage breakdown, though the usual
+// wiring enables collection whenever an access log is configured.
+func (s *Server) finishRequest(tr *trace.Trace, route string, sw *statusWriter, start time.Time) {
+	dur := time.Since(start)
+	cache := sw.Header().Get("X-DBS-Cache")
+	var snap trace.Snapshot
+	if tr != nil {
+		snap = tr.Finish(route, sw.status(), cache)
+		snap.Slow = s.cfg.SlowThreshold > 0 && dur >= s.cfg.SlowThreshold
+		if snap.Slow {
+			s.slowTrace.Add(snap)
+		}
+		if s.cfg.TraceSample > 0 && trace.SampleID(snap.ID, s.cfg.TraceSample) {
+			s.traces.Add(snap)
+		}
+	}
+	if s.accessLog != nil {
+		queueMs, stages := stageBreakdown(snap)
+		s.accessLog.log(accessRecord{
+			Time:    time.Now().UTC().Format(time.RFC3339Nano),
+			TraceID: sw.Header().Get(TraceHeader),
+			Route:   route,
+			Status:  sw.status(),
+			DurMs:   float64(dur) / float64(time.Millisecond),
+			QueueMs: queueMs,
+			Cache:   cache,
+			Bytes:   sw.bytes,
+			Slow:    snap.Slow,
+			Stages:  stages,
+		})
+	}
+}
+
+// stageBreakdown aggregates a snapshot's events into the access-log
+// stage map: admission wait is split out as the queue time; serving-
+// layer events ("server/build/est", "cache/sample", "registry/
+// acquire") keep their full path; other pipeline spans report at their
+// top level only ("draw", "scan", "kde") so a parent and its children
+// are never both counted. Totals overlap hierarchically — a scan runs
+// inside a draw which runs inside a build stage — the map is a
+// breakdown for reading, not a partition.
+func stageBreakdown(snap trace.Snapshot) (queueMs float64, stages map[string]float64) {
+	for _, e := range snap.Events {
+		d := e.EndMs - e.StartMs
+		if e.Path == "admission/wait" {
+			queueMs += d
+			continue
+		}
+		if d <= 0 {
+			continue // point events (faults, retries, pool runs)
+		}
+		if i := strings.IndexByte(e.Path, '/'); i >= 0 &&
+			!strings.HasPrefix(e.Path, "server/") &&
+			!strings.HasPrefix(e.Path, "cache/") &&
+			!strings.HasPrefix(e.Path, "registry/") {
+			continue
+		}
+		if stages == nil {
+			stages = make(map[string]float64)
+		}
+		stages[e.Path] += d
+	}
+	return queueMs, stages
+}
+
+// tracesResponse is the /debug/traces body.
+type tracesResponse struct {
+	Enabled bool             `json:"enabled"`
+	Sample  float64          `json:"sample"`
+	SlowMs  float64          `json:"slow_ms"`
+	Total   int64            `json:"total"`
+	Recent  []trace.Snapshot `json:"recent"`
+	Slow    []trace.Snapshot `json:"slow"`
+}
+
+// handleTraces serves the retained trace rings, newest first. Recent
+// is the ID-sampled ring, Slow the keeper ring; Total counts every
+// snapshot ever admitted to the recent ring (so a scraper can tell
+// "quiet server" from "everything sampled away").
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	s.rec.Counter(CtrRequests).Inc()
+	w.Header().Set(TraceHeader, s.ids.Next())
+	writeJSON(w, http.StatusOK, tracesResponse{
+		Enabled: s.traceOn,
+		Sample:  s.cfg.TraceSample,
+		SlowMs:  float64(s.cfg.SlowThreshold) / float64(time.Millisecond),
+		Total:   s.traces.Total(),
+		Recent:  s.traces.Snapshots(),
+		Slow:    s.slowTrace.Snapshots(),
+	})
+}

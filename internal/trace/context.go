@@ -1,0 +1,25 @@
+package trace
+
+import "context"
+
+// ctxKey is the private context key for the request's trace.
+type ctxKey struct{}
+
+// NewContext returns a context carrying t. A nil trace returns ctx
+// unchanged, so callers can attach unconditionally.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. Safe on a nil
+// context — the disabled path costs one value lookup at most.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

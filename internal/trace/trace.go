@@ -1,0 +1,544 @@
+// Package trace is the request-scoped tracing layer of the serving path:
+// one Trace per admitted request, carrying an ID and a bounded list of
+// span events (hierarchical slash paths, monotonic offsets from the
+// request's start) plus point annotations (cache outcomes, injected
+// faults, retries). Traces travel through the pipeline inside a
+// context.Context; stages that already hold an obs.Recorder get their
+// spans forwarded automatically (the recorder is the trace's span
+// source — see obs.Recorder.SetTrace), while cross-cutting events are
+// recorded directly via FromContext.
+//
+// The package is stdlib-only and a dependency leaf below even
+// internal/obs: obs, parallel, and faults all import it, nothing here
+// imports back. A nil *Trace is the canonical disabled state — every
+// method on it is a cheap no-op — so the serving path pays only a
+// context lookup when tracing is off.
+//
+// Tracing never feeds back into the computation: no RNG is consulted
+// and no result depends on a recorded event or clock, so responses are
+// bit-identical with tracing disabled, sampled, or always-on (asserted
+// by TestSampleBytesUnchangedByTracing in internal/server).
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MaxEvents bounds the events one trace retains; recording beyond it
+// increments the snapshot's DroppedEvents instead of growing memory.
+const MaxEvents = 512
+
+// Event is one recorded span occurrence: a slash-addressed path, start
+// and end offsets from the trace's start (monotonic — taken from the
+// process clock's monotonic reading, never wall time), the points the
+// span processed, and an optional annotation. Point events (faults,
+// retries) have Start == End.
+type Event struct {
+	Path   string
+	Start  time.Duration
+	End    time.Duration
+	Points int64
+	Note   string
+}
+
+// openSpan tracks a span occurrence between Begin and End. Re-entrant:
+// nested Begin/End pairs on one path collapse into one event, matching
+// the accumulation semantics of obs spans.
+type openSpan struct {
+	count  int
+	start  time.Duration
+	points int64
+}
+
+// Trace collects the events of one request. All methods are safe for
+// concurrent use (pipeline stages run on worker goroutines) and all are
+// no-ops on a nil receiver.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu      sync.Mutex
+	events  []Event
+	open    map[string]*openSpan
+	dropped int
+	done    bool
+}
+
+// New returns a live trace with the given ID, started now.
+func New(id string) *Trace {
+	return &Trace{id: id, start: time.Now(), open: make(map[string]*openSpan)}
+}
+
+// ID returns the trace ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Now returns the monotonic offset since the trace started (0 on nil).
+func (t *Trace) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// Begin opens (or re-enters) the span at path. Each outermost
+// Begin/End pair becomes one event.
+func (t *Trace) Begin(path string) {
+	if t == nil || path == "" {
+		return
+	}
+	now := time.Since(t.start)
+	t.mu.Lock()
+	if !t.done {
+		os := t.open[path]
+		if os == nil {
+			os = &openSpan{}
+			t.open[path] = os
+		}
+		if os.count == 0 {
+			os.start = now
+			os.points = 0
+		}
+		os.count++
+	}
+	t.mu.Unlock()
+}
+
+// End closes the span at path, attributing points to it; the outermost
+// End appends the event. Unmatched Ends are ignored.
+func (t *Trace) End(path string, points int64) {
+	if t == nil || path == "" {
+		return
+	}
+	now := time.Since(t.start)
+	t.mu.Lock()
+	if os := t.open[path]; os != nil && os.count > 0 && !t.done {
+		os.count--
+		os.points += points
+		if os.count == 0 {
+			t.addLocked(Event{Path: path, Start: os.start, End: now, Points: os.points})
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Add records a complete span event with an explicit interval, for
+// callers that measure a region themselves (the cache lookup wrapper).
+func (t *Trace) Add(path string, start, end time.Duration, points int64, note string) {
+	if t == nil || path == "" {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.addLocked(Event{Path: path, Start: start, End: end, Points: points, Note: note})
+	}
+	t.mu.Unlock()
+}
+
+// Event records a point annotation (zero-duration event) at now.
+func (t *Trace) Event(path, note string) {
+	if t == nil {
+		return
+	}
+	now := time.Since(t.start)
+	t.Add(path, now, now, 0, note)
+}
+
+// Eventf is Event with a formatted note. The formatting cost is only
+// paid on a live trace.
+func (t *Trace) Eventf(path, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Event(path, fmt.Sprintf(format, args...))
+}
+
+func (t *Trace) addLocked(e Event) {
+	if len(t.events) >= MaxEvents {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Finish seals the trace and returns its snapshot: no further events
+// are recorded, spans still open are counted as orphans (a completed
+// request should have none — asserted by the chaos suite), and the
+// event list is rendered into the span tree. Safe to call once; later
+// calls return an empty snapshot.
+func (t *Trace) Finish(route string, status int, cache string) Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	now := time.Since(t.start)
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return Snapshot{}
+	}
+	t.done = true
+	orphans := 0
+	for _, os := range t.open {
+		if os.count > 0 {
+			orphans++
+		}
+	}
+	events := t.events
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	snap := Snapshot{
+		ID:         t.id,
+		Route:      route,
+		Status:     status,
+		Start:      t.start,
+		DurationMs: ms(now),
+		Cache:      cache,
+		Orphans:    orphans,
+		Dropped:    dropped,
+		Events:     make([]EventJSON, len(events)),
+	}
+	for i, e := range events {
+		snap.Events[i] = EventJSON{
+			Path:    e.Path,
+			StartMs: ms(e.Start),
+			EndMs:   ms(e.End),
+			Points:  e.Points,
+			Note:    e.Note,
+		}
+	}
+	snap.Spans = buildTree(events)
+	return snap
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// EventJSON is the flat form of one event in a snapshot.
+type EventJSON struct {
+	Path    string  `json:"path"`
+	StartMs float64 `json:"start_ms"`
+	EndMs   float64 `json:"end_ms"`
+	Points  int64   `json:"points,omitempty"`
+	Note    string  `json:"note,omitempty"`
+}
+
+// SpanJSON is one node of the rendered span tree. Containers
+// synthesized for paths that never recorded an event of their own (a
+// "cache" node grouping "cache/est" and "cache/sample") carry
+// Synthetic: true and span their children's extent.
+type SpanJSON struct {
+	Name      string     `json:"name"`
+	Path      string     `json:"path"`
+	StartMs   float64    `json:"start_ms"`
+	EndMs     float64    `json:"end_ms"`
+	Points    int64      `json:"points,omitempty"`
+	Note      string     `json:"note,omitempty"`
+	Synthetic bool       `json:"synthetic,omitempty"`
+	Children  []SpanJSON `json:"children,omitempty"`
+}
+
+// Snapshot is a completed trace: what the /debug/traces ring stores
+// and serves. Events is the flat record; Spans the same events nested
+// by slash path and interval containment.
+type Snapshot struct {
+	ID         string      `json:"trace_id"`
+	Route      string      `json:"route,omitempty"`
+	Status     int         `json:"status,omitempty"`
+	Start      time.Time   `json:"start"`
+	DurationMs float64     `json:"duration_ms"`
+	Cache      string      `json:"cache,omitempty"`
+	Slow       bool        `json:"slow,omitempty"`
+	Orphans    int         `json:"orphan_spans,omitempty"`
+	Dropped    int         `json:"dropped_events,omitempty"`
+	Events     []EventJSON `json:"events"`
+	Spans      []SpanJSON  `json:"spans"`
+}
+
+// treeNode is the mutable form used while nesting events.
+type treeNode struct {
+	span     SpanJSON
+	start    time.Duration
+	end      time.Duration
+	parent   *treeNode
+	children []*treeNode
+}
+
+// buildTree nests events by slash path: an event's parent is the
+// latest event at its parent path whose interval contains it (falling
+// back to start containment, then to a synthesized container), so
+// repeated stages — two scan passes, retried builds — become sibling
+// occurrences rather than merged totals.
+func buildTree(events []Event) []SpanJSON {
+	if len(events) == 0 {
+		return nil
+	}
+	nodes := make([]*treeNode, len(events))
+	for i, e := range events {
+		nodes[i] = &treeNode{
+			span: SpanJSON{
+				Name:    lastSegment(e.Path),
+				Path:    e.Path,
+				StartMs: ms(e.Start),
+				EndMs:   ms(e.End),
+				Points:  e.Points,
+				Note:    e.Note,
+			},
+			start: e.Start,
+			end:   e.End,
+		}
+	}
+	// Parents first: earlier start, and at equal starts the longer
+	// (containing) interval.
+	sort.SliceStable(nodes, func(i, j int) bool {
+		if nodes[i].start != nodes[j].start {
+			return nodes[i].start < nodes[j].start
+		}
+		return nodes[i].end > nodes[j].end
+	})
+
+	byPath := make(map[string][]*treeNode)
+	var roots []*treeNode
+	var attach func(n *treeNode)
+	attach = func(n *treeNode) {
+		parent := parentPath(n.span.Path)
+		if parent == "" {
+			roots = append(roots, n)
+			byPath[n.span.Path] = append(byPath[n.span.Path], n)
+			return
+		}
+		var best *treeNode
+		for _, cand := range byPath[parent] {
+			if cand.start <= n.start && cand.end >= n.end {
+				best = cand
+			}
+		}
+		if best == nil {
+			for _, cand := range byPath[parent] {
+				if cand.start <= n.start && cand.end >= n.start {
+					best = cand
+				}
+			}
+		}
+		if best == nil {
+			// Reuse an existing synthesized container at this path rather
+			// than growing a sibling: real occurrences (retried stages,
+			// repeated scans) stay separate, but containers that exist only
+			// to group a path extend to cover every child.
+			for _, cand := range byPath[parent] {
+				if cand.span.Synthetic {
+					best = cand
+				}
+			}
+		}
+		if best == nil {
+			best = &treeNode{
+				span: SpanJSON{
+					Name:      lastSegment(parent),
+					Path:      parent,
+					StartMs:   ms(n.start),
+					EndMs:     ms(n.end),
+					Synthetic: true,
+				},
+				start: n.start,
+				end:   n.end,
+			}
+			attach(best)
+		}
+		// Extend synthesized ancestors to span the new child's extent.
+		for p := best; p != nil && p.span.Synthetic && p.end < n.end; p = p.parent {
+			p.end = n.end
+			p.span.EndMs = ms(n.end)
+		}
+		n.parent = best
+		best.children = append(best.children, n)
+		byPath[n.span.Path] = append(byPath[n.span.Path], n)
+	}
+	for _, n := range nodes {
+		attach(n)
+	}
+
+	var render func(ns []*treeNode) []SpanJSON
+	render = func(ns []*treeNode) []SpanJSON {
+		out := make([]SpanJSON, len(ns))
+		for i, n := range ns {
+			s := n.span
+			s.Children = render(n.children)
+			out[i] = s
+		}
+		return out
+	}
+	return render(roots)
+}
+
+func parentPath(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return ""
+}
+
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// mix64 is the SplitMix64 finalizer, the same avalanche used by
+// internal/stats and internal/faults.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+const golden = 0x9e3779b97f4a7c15
+
+// IDSource generates trace IDs: 16 hex digits from a SplitMix64
+// stream. With a non-zero seed the sequence is deterministic — the
+// test and chaos mode, so a failing trace can be named by (seed,
+// request index) — while seed 0 draws a random stream seed once.
+type IDSource struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+// NewIDSource returns an ID source. seed == 0 seeds randomly.
+func NewIDSource(seed uint64) *IDSource {
+	if seed == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			seed = binary.LittleEndian.Uint64(b[:])
+		} else {
+			seed = uint64(time.Now().UnixNano())
+		}
+		if seed == 0 {
+			seed = 1
+		}
+	}
+	return &IDSource{state: seed}
+}
+
+// Next returns the next ID in the stream.
+func (s *IDSource) Next() string {
+	s.mu.Lock()
+	s.state += golden
+	id := mix64(s.state)
+	s.mu.Unlock()
+	return fmt.Sprintf("%016x", id)
+}
+
+// SampleID is the deterministic sampling decision for a trace ID: a
+// pure function of (id, rate), so every replica — and a replayed
+// request — decides identically, and the decision consumes no RNG
+// state that could perturb results. rate ≥ 1 keeps everything, ≤ 0
+// nothing.
+func SampleID(id string, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	v, err := strconv.ParseUint(id, 16, 64)
+	if err != nil {
+		// Non-hex IDs (external callers): hash the string instead.
+		v = 14695981039346656037
+		for i := 0; i < len(id); i++ {
+			v ^= uint64(id[i])
+			v *= 1099511628211
+		}
+	}
+	u := float64(mix64(v^golden)>>11) / (1 << 53)
+	return u < rate
+}
+
+// Ring is a bounded ring of completed trace snapshots, newest-first on
+// read. Memory is bounded by cap × MaxEvents regardless of how many
+// requests pass through — the chaos suite's leak assertion.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Snapshot
+	next  int
+	n     int
+	total int64
+}
+
+// NewRing returns a ring holding up to capacity snapshots (min 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Snapshot, capacity)}
+}
+
+// Add files a snapshot, evicting the oldest when full.
+func (r *Ring) Add(s Snapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshots returns the retained traces, newest first.
+func (r *Ring) Snapshots() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Snapshot, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns how many snapshots are retained.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Total returns how many snapshots have ever been added.
+func (r *Ring) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.Begin("x")
+	tr.End("x", 1)
+	tr.Add("y", 0, time.Millisecond, 2, "note")
+	tr.Event("z", "note")
+	tr.Eventf("z", "n=%d", 1)
+	if got := tr.ID(); got != "" {
+		t.Fatalf("nil ID = %q", got)
+	}
+	if got := tr.Now(); got != 0 {
+		t.Fatalf("nil Now = %v", got)
+	}
+	snap := tr.Finish("/r", 200, "hit")
+	if snap.ID != "" || len(snap.Events) != 0 {
+		t.Fatalf("nil Finish = %+v", snap)
+	}
+	var r *Ring
+	r.Add(snap)
+	if r.Len() != 0 || r.Cap() != 0 || r.Total() != 0 || r.Snapshots() != nil {
+		t.Fatal("nil Ring not inert")
+	}
+}
+
+func TestBeginEndProducesEvent(t *testing.T) {
+	tr := New("abc")
+	tr.Begin("draw")
+	tr.End("draw", 42)
+	snap := tr.Finish("/v1/sample", 200, "miss")
+	if snap.ID != "abc" || snap.Route != "/v1/sample" || snap.Status != 200 || snap.Cache != "miss" {
+		t.Fatalf("snapshot header = %+v", snap)
+	}
+	if len(snap.Events) != 1 {
+		t.Fatalf("events = %d, want 1", len(snap.Events))
+	}
+	e := snap.Events[0]
+	if e.Path != "draw" || e.Points != 42 || e.EndMs < e.StartMs {
+		t.Fatalf("event = %+v", e)
+	}
+	if snap.Orphans != 0 {
+		t.Fatalf("orphans = %d", snap.Orphans)
+	}
+}
+
+func TestNestedBeginEndCollapsesToOneEvent(t *testing.T) {
+	tr := New("abc")
+	tr.Begin("s")
+	tr.Begin("s") // re-entrant
+	tr.End("s", 10)
+	tr.End("s", 5)
+	snap := tr.Finish("", 0, "")
+	if len(snap.Events) != 1 {
+		t.Fatalf("events = %d, want 1 (nested pairs collapse)", len(snap.Events))
+	}
+	if snap.Events[0].Points != 15 {
+		t.Fatalf("points = %d, want 15", snap.Events[0].Points)
+	}
+}
+
+func TestSequentialOccurrencesStaySeparate(t *testing.T) {
+	tr := New("abc")
+	tr.Begin("scan")
+	tr.End("scan", 100)
+	tr.Begin("scan")
+	tr.End("scan", 200)
+	snap := tr.Finish("", 0, "")
+	if len(snap.Events) != 2 {
+		t.Fatalf("events = %d, want 2 (sequential passes are separate)", len(snap.Events))
+	}
+}
+
+func TestOrphanCounting(t *testing.T) {
+	tr := New("abc")
+	tr.Begin("a")
+	tr.Begin("b")
+	tr.End("b", 0)
+	snap := tr.Finish("", 0, "")
+	if snap.Orphans != 1 {
+		t.Fatalf("orphans = %d, want 1 (a left open)", snap.Orphans)
+	}
+	// Unmatched End is ignored entirely.
+	tr2 := New("x")
+	tr2.End("never-opened", 3)
+	if snap2 := tr2.Finish("", 0, ""); len(snap2.Events) != 0 || snap2.Orphans != 0 {
+		t.Fatalf("unmatched end produced %+v", snap2)
+	}
+}
+
+func TestEventCapAndDropCounter(t *testing.T) {
+	tr := New("abc")
+	for i := 0; i < MaxEvents+25; i++ {
+		tr.Event("e", "n")
+	}
+	snap := tr.Finish("", 0, "")
+	if len(snap.Events) != MaxEvents {
+		t.Fatalf("events = %d, want cap %d", len(snap.Events), MaxEvents)
+	}
+	if snap.Dropped != 25 {
+		t.Fatalf("dropped = %d, want 25", snap.Dropped)
+	}
+}
+
+func TestFinishSealsAndIsOneShot(t *testing.T) {
+	tr := New("abc")
+	tr.Event("a", "")
+	first := tr.Finish("/r", 200, "")
+	tr.Event("b", "") // after seal: ignored
+	tr.Begin("c")
+	tr.End("c", 0)
+	if second := tr.Finish("/r", 200, ""); second.ID != "" {
+		t.Fatalf("second Finish = %+v, want zero snapshot", second)
+	}
+	if len(first.Events) != 1 {
+		t.Fatalf("first snapshot mutated: %d events", len(first.Events))
+	}
+}
+
+func TestSpanTreeNesting(t *testing.T) {
+	tr := New("abc")
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	// Explicit intervals so the tree is deterministic: a build stage
+	// containing a draw containing a scan, plus a cache event whose
+	// "cache" parent never records an event of its own.
+	tr.Add("scan", ms(12), ms(18), 1000, "")
+	tr.Add("draw", ms(11), ms(19), 1000, "")
+	tr.Add("server/build/sample", ms(10), ms(20), 0, "")
+	tr.Add("cache/sample", ms(9), ms(21), 0, "miss gen=0")
+	snap := tr.Finish("/v1/sample", 200, "miss")
+
+	byPath := map[string]SpanJSON{}
+	var walk func(depth int, spans []SpanJSON)
+	paths := map[string]int{} // path -> depth
+	walk = func(depth int, spans []SpanJSON) {
+		for _, s := range spans {
+			byPath[s.Path] = s
+			paths[s.Path] = depth
+			walk(depth+1, s.Children)
+		}
+	}
+	walk(0, snap.Spans)
+
+	if paths["cache"] != 0 || !byPath["cache"].Synthetic {
+		t.Fatalf("cache container: depth=%d synthetic=%v", paths["cache"], byPath["cache"].Synthetic)
+	}
+	if paths["cache/sample"] != 1 {
+		t.Fatalf("cache/sample depth = %d, want 1", paths["cache/sample"])
+	}
+	if !byPath["server"].Synthetic || !byPath["server/build"].Synthetic {
+		t.Fatal("server and server/build should be synthesized containers")
+	}
+	if paths["server/build/sample"] != 2 {
+		t.Fatalf("server/build/sample depth = %d, want 2", paths["server/build/sample"])
+	}
+	// draw and scan nest by path, not containment alone: they are roots
+	// of their own paths.
+	if paths["draw"] != 0 {
+		t.Fatalf("draw depth = %d, want 0 (top-level path)", paths["draw"])
+	}
+	if paths["scan"] != 0 {
+		t.Fatalf("scan depth = %d, want 0 (top-level path)", paths["scan"])
+	}
+}
+
+func TestSpanTreeSiblingOccurrences(t *testing.T) {
+	tr := New("abc")
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	// Two attempts of one stage; a child event inside the second only.
+	tr.Add("stage/inner", ms(25), ms(28), 0, "")
+	tr.Add("stage", ms(0), ms(10), 0, "")
+	tr.Add("stage", ms(20), ms(30), 0, "")
+	snap := tr.Finish("", 0, "")
+	if len(snap.Spans) != 2 {
+		t.Fatalf("roots = %d, want 2 stage occurrences", len(snap.Spans))
+	}
+	var withChild int
+	for _, s := range snap.Spans {
+		if s.Path != "stage" {
+			t.Fatalf("unexpected root %q", s.Path)
+		}
+		if len(s.Children) == 1 && s.Children[0].Path == "stage/inner" {
+			if s.StartMs != 20 {
+				t.Fatalf("inner attached to occurrence starting %v, want 20", s.StartMs)
+			}
+			withChild++
+		}
+	}
+	if withChild != 1 {
+		t.Fatalf("inner event attached to %d occurrences, want exactly the containing one", withChild)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) != nil")
+	}
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("empty context carries a trace")
+	}
+	if NewContext(ctx, nil) != ctx {
+		t.Fatal("NewContext(nil trace) should return ctx unchanged")
+	}
+	tr := New("abc")
+	if got := FromContext(NewContext(ctx, tr)); got != tr {
+		t.Fatalf("round trip = %p, want %p", got, tr)
+	}
+}
+
+func TestIDSourceDeterministicWhenSeeded(t *testing.T) {
+	a, b := NewIDSource(42), NewIDSource(42)
+	for i := 0; i < 10; i++ {
+		ia, ib := a.Next(), b.Next()
+		if ia != ib {
+			t.Fatalf("step %d: %q != %q", i, ia, ib)
+		}
+		if len(ia) != 16 || strings.Trim(ia, "0123456789abcdef") != "" {
+			t.Fatalf("ID %q is not 16 hex digits", ia)
+		}
+	}
+	if NewIDSource(42).Next() == NewIDSource(43).Next() {
+		t.Fatal("different seeds produced the same first ID")
+	}
+	// Seed 0 is random: two sources should not collide on their first ID.
+	if NewIDSource(0).Next() == NewIDSource(0).Next() {
+		t.Fatal("random seeding collided (astronomically unlikely)")
+	}
+}
+
+func TestSampleID(t *testing.T) {
+	src := NewIDSource(7)
+	ids := make([]string, 2000)
+	for i := range ids {
+		ids[i] = src.Next()
+	}
+	for _, id := range ids {
+		if SampleID(id, 1) != true {
+			t.Fatal("rate 1 must keep everything")
+		}
+		if SampleID(id, 0) != false {
+			t.Fatal("rate 0 must keep nothing")
+		}
+		if SampleID(id, 0.3) != SampleID(id, 0.3) {
+			t.Fatal("sampling decision not deterministic")
+		}
+		// Monotone in rate: kept at 0.3 implies kept at 0.8.
+		if SampleID(id, 0.3) && !SampleID(id, 0.8) {
+			t.Fatal("sampling not monotone in rate")
+		}
+	}
+	kept := 0
+	for _, id := range ids {
+		if SampleID(id, 0.3) {
+			kept++
+		}
+	}
+	if kept < 450 || kept > 750 {
+		t.Fatalf("rate 0.3 kept %d of 2000 (want roughly 600)", kept)
+	}
+	// Non-hex IDs fall back to string hashing, still deterministic.
+	if SampleID("not-hex!", 0.5) != SampleID("not-hex!", 0.5) {
+		t.Fatal("non-hex sampling not deterministic")
+	}
+}
+
+func TestRingBoundsAndOrder(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Add(Snapshot{ID: string(rune('a' + i))})
+	}
+	if r.Len() != 4 || r.Cap() != 4 || r.Total() != 10 {
+		t.Fatalf("len=%d cap=%d total=%d", r.Len(), r.Cap(), r.Total())
+	}
+	got := r.Snapshots()
+	want := []string{"j", "i", "h", "g"} // newest first
+	for i, s := range got {
+		if s.ID != want[i] {
+			t.Fatalf("snapshot %d = %q, want %q", i, s.ID, want[i])
+		}
+	}
+	if NewRing(0).Cap() != 1 {
+		t.Fatal("capacity should clamp to 1")
+	}
+}
+
+func TestTraceConcurrentUse(t *testing.T) {
+	tr := New("abc")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			path := "worker"
+			for i := 0; i < 200; i++ {
+				tr.Begin(path)
+				tr.Eventf("fault", "g=%d i=%d", g, i)
+				tr.End(path, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := tr.Finish("", 0, "")
+	if snap.Orphans != 0 {
+		t.Fatalf("orphans = %d after matched concurrent use", snap.Orphans)
+	}
+	if len(snap.Events)+snap.Dropped != 8*400 {
+		// 8 goroutines × (≤200 worker events after collapse + 200 faults):
+		// worker Begin/End pairs may interleave across goroutines and
+		// collapse, so only the total recorded-plus-dropped is bounded.
+		if len(snap.Events) > MaxEvents {
+			t.Fatalf("events %d exceed cap", len(snap.Events))
+		}
+	}
+}

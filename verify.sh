@@ -13,7 +13,7 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/... ./internal/faults/... ./internal/server/... ./internal/dataset/...
+go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/... ./internal/faults/... ./internal/server/... ./internal/dataset/... ./internal/trace/...
 # Chaos smoke: the seeded fault-injection suite in short mode (12 seeds) —
 # goroutine leaks, admission slot leaks, cache accounting drift, and any
 # fault-corrupted response fail this line fast; the full 60-seed sweep
@@ -24,6 +24,10 @@ go test -race -run Chaos -short ./internal/...
 # bit-for-bit parity) under the race detector.
 go test -race -run 'Chaos|Append' -short ./internal/server/
 OBS_GUARD=1 go test -run TestObsOverheadGuard .
+# Tracing-overhead guard: a request trace forwarding every span must stay
+# within the same budget over the untraced draw (TRACE_GUARD gates the
+# timing assertion; see trace_guard_test.go and BENCH_trace.json).
+TRACE_GUARD=1 go test -run TestTraceOverheadGuard .
 # Allocation-regression guard: steady-state Draw must perform zero
 # per-block heap allocations on the columnar path (testing.AllocsPerRun
 # over 512 blocks; see layout_test.go and DESIGN.md, "Memory layout &
