@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -52,12 +53,23 @@ func main() {
 		accessLog  = flag.String("access-log", "", "structured JSON access log destination: a file path (appended) or - for stderr (empty disables)")
 		trRing     = flag.Int("trace-ring", 64, "capacity of each /debug/traces ring (recent and slow)")
 		trSeed     = flag.Uint64("trace-seed", 0, "deterministic trace-ID stream seed (0 = random); set for reproducible trace IDs in tests")
+		shards     = flag.String("shards", "", "shard the sampling pipeline: an integer N for N in-process workers, or a comma-separated name=url list of dbsserve peers running -shard-of name (empty = single-node)")
+		shardOf    = flag.String("shard-of", "", "serve as the named shard worker: only shard RPCs addressed to this name are accepted (empty = not pinned)")
+		replicas   = flag.Int("replicas", 0, "replicas per block in sharded mode; failed shard RPCs fall back across them (0 = 2, capped at shard count)")
+		hedgeMs    = flag.Int("hedge-ms", 0, "sharded mode latency budget: a shard RPC still pending after this many milliseconds is hedged to the next replica, first success wins (0 disables)")
 	)
 	flag.Parse()
 
 	precision, err := parsePrecision(*prec)
 	if err != nil {
 		fatal("%v", err)
+	}
+	shardWorkers, shardPeers, err := parseShards(*shards)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if (shardWorkers > 0 || len(shardPeers) > 0) && precision == core.Float32 {
+		fatal("-shards requires -precision float64: float32 arithmetic breaks the bit-identical shard merge")
 	}
 	cache := *cacheBytes
 	if cache == 0 {
@@ -91,6 +103,11 @@ func main() {
 		TraceRing:     *trRing,
 		TraceSeed:     *trSeed,
 		AccessLog:     accessW,
+		ShardWorkers:  shardWorkers,
+		ShardPeers:    shardPeers,
+		ShardReplicas: *replicas,
+		ShardHedge:    time.Duration(*hedgeMs) * time.Millisecond,
+		ShardOf:       *shardOf,
 	})
 
 	for _, arg := range flag.Args() {
@@ -125,6 +142,33 @@ func main() {
 		fatal("shutdown: %v", err)
 	}
 	fmt.Fprintln(os.Stderr, "dbsserve: drained")
+}
+
+// parseShards reads the -shards flag: a bare integer means that many
+// in-process workers; otherwise a comma-separated name=url list of HTTP
+// peers. Empty means single-node.
+func parseShards(s string) (workers int, peers map[string]string, err error) {
+	if s == "" {
+		return 0, nil, nil
+	}
+	if n, perr := strconv.Atoi(s); perr == nil {
+		if n < 1 {
+			return 0, nil, fmt.Errorf("-shards %d: want at least 1 worker", n)
+		}
+		return n, nil, nil
+	}
+	peers = make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		name, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || url == "" {
+			return 0, nil, fmt.Errorf("-shards entry %q is not name=url", part)
+		}
+		if _, dup := peers[name]; dup {
+			return 0, nil, fmt.Errorf("-shards: duplicate shard name %q", name)
+		}
+		peers[name] = url
+	}
+	return 0, peers, nil
 }
 
 func parsePrecision(s string) (core.Precision, error) {

@@ -490,20 +490,7 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 				weights[i] = biasedWeight(f, opts.Alpha, floor)
 			}
 		}
-		brng := &streams[block]
-		count, sat := 0, 0
-		for i := range pts {
-			prob := b * weights[i] / norm
-			if prob >= 1 {
-				prob = 1
-				sat++
-			}
-			if brng.Bernoulli(prob) {
-				sc.idx[count] = int32(i)
-				sc.probs[count] = prob
-				count++
-			}
-		}
+		count, sat := flipCoins(weights, b, norm, &streams[block], sc)
 		perBlock[block] = blockSample{points: fillBlockSample(arena, pts, sc, count), saturated: sat}
 		cCoins.Add(int64(len(pts)))
 		cSat.Add(int64(sat))
@@ -531,6 +518,28 @@ func Draw(ds dataset.Dataset, est DensityEstimator, opts Options, rng *stats.RNG
 	rec.Gauge(obs.GaugeSampleNorm).Set(norm)
 	rec.Gauge(obs.GaugeSampleDataPasses).Set(float64(passes))
 	return out, nil
+}
+
+// flipCoins flips the inclusion coin for each biased weight against the
+// normalizer, recording the (index, prob) pairs of the selections into sc.
+// It is the single coin loop shared by the local draw and the sharded
+// per-block draw (DrawBlocks): both paths must consume brng identically —
+// including Bernoulli's property of consuming no state at p ≤ 0 or p ≥ 1 —
+// or the cross-mode bit-for-bit guarantee breaks.
+func flipCoins(weights []float64, b, norm float64, brng *stats.RNG, sc *coinScratch) (count, sat int) {
+	for i := range weights {
+		prob := b * weights[i] / norm
+		if prob >= 1 {
+			prob = 1
+			sat++
+		}
+		if brng.Bernoulli(prob) {
+			sc.idx[count] = int32(i)
+			sc.probs[count] = prob
+			count++
+		}
+	}
+	return count, sat
 }
 
 // ExactNorm computes k_a = Σ_{x ∈ ds} max(f(x), floor)^a in one pass,

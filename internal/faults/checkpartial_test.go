@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestCheckPartial pins the RPC-side fault surface: errors and cancels
+// come back as errors, partials come back as a truncation instruction
+// (never degraded to an error — the caller must exercise its response
+// validation on a genuinely short reply), and a nil point is inert.
+func TestCheckPartial(t *testing.T) {
+	var nilPt *Point
+	if frac, trunc, err := nilPt.CheckPartial(context.Background()); frac != 0 || trunc || err != nil {
+		t.Errorf("nil point: got (%v, %v, %v), want inert", frac, trunc, err)
+	}
+
+	in := New(Config{Seed: 11, PError: 0.25, PDelay: 0.25, PPartial: 0.25, PCancel: 0.1})
+	pt := in.Point("rpc")
+	// Replay the schedule from an identical point to know what each op drew.
+	ref := New(Config{Seed: 11, PError: 0.25, PDelay: 0.25, PPartial: 0.25, PCancel: 0.1}).Point("rpc")
+
+	var sawPartial, sawError, sawNone bool
+	for op := 0; op < 300; op++ {
+		kind, _, _ := ref.next()
+		frac, trunc, err := pt.CheckPartial(context.Background())
+		switch kind {
+		case KindNone, KindDelay:
+			// A clean delay resolves to no fault from the caller's view.
+			if trunc || err != nil {
+				t.Fatalf("op %d (%v): got (trunc=%v, err=%v)", op, kind, trunc, err)
+			}
+			if kind == KindNone {
+				sawNone = true
+			}
+		case KindPartial:
+			sawPartial = true
+			if err != nil || !trunc {
+				t.Fatalf("op %d: partial surfaced as (trunc=%v, err=%v)", op, trunc, err)
+			}
+			if frac < 0 || frac >= 1 {
+				t.Fatalf("op %d: truncation fraction %v outside [0,1)", op, frac)
+			}
+		case KindError, KindCancel:
+			sawError = true
+			if err == nil {
+				t.Fatalf("op %d (%v): no error", op, kind)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("op %d: error %v does not match ErrInjected", op, err)
+			}
+		}
+	}
+	if !sawPartial || !sawError || !sawNone {
+		t.Fatalf("schedule did not cover all kinds: partial=%v error=%v none=%v",
+			sawPartial, sawError, sawNone)
+	}
+}
+
+// TestCheckPartialDelayHonorsContext: an injected delay under a dead
+// context returns the context's error instead of sleeping.
+func TestCheckPartialDelayHonorsContext(t *testing.T) {
+	in := New(Config{Seed: 3, PDelay: 1})
+	pt := in.Point("rpc")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := pt.CheckPartial(ctx); err == nil {
+		t.Fatal("delay under canceled context returned nil")
+	}
+}

@@ -282,6 +282,32 @@ func (p *Point) errAt(kind Kind, op uint64) error {
 	return &InjectedError{Site: p.site, Op: op, Kind: kind}
 }
 
+// CheckPartial draws the next decision for an RPC-shaped operation whose
+// response payload can be truncated in flight. It behaves like Check for
+// every kind except KindPartial, which it surfaces as truncate=true with
+// the schedule's deterministic truncation fraction in [0, 1) and a nil
+// error: the caller is expected to deliver that prefix of its response,
+// exercising the receiver's response validation (which must reject the
+// short payload loudly) rather than its plain error path.
+func (p *Point) CheckPartial(ctx context.Context) (fraction float64, truncate bool, err error) {
+	kind, aux, op := p.next()
+	switch kind {
+	case KindNone:
+		return 0, false, nil
+	case KindDelay:
+		trace.FromContext(ctx).Eventf("fault", "site=%s kind=delay op=%d", p.site, op)
+		return 0, false, parallel.SleepCtx(ctx, p.delay(aux))
+	case KindPartial:
+		// Like delay, a truncation returns no error from this call, so it
+		// must be trace-attributed here; the validation failure it provokes
+		// downstream is an ordinary error with its own attribution.
+		trace.FromContext(ctx).Eventf("fault", "site=%s kind=partial op=%d", p.site, op)
+		return frac(aux), true, nil
+	default:
+		return 0, false, p.errAt(kind, op)
+	}
+}
+
 // Check draws the next decision for a non-scan operation (a build stage,
 // a cache fill). KindDelay sleeps then proceeds; KindPartial degenerates
 // to KindError (there is no stream to truncate); a delay cut short by

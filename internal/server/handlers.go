@@ -19,6 +19,7 @@ import (
 	"repro/internal/kde"
 	"repro/internal/obs"
 	"repro/internal/outlier"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -33,6 +34,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sample", s.compute("/v1/sample", s.handleSample))
 	s.mux.HandleFunc("POST /v1/cluster", s.compute("/v1/cluster", s.handleCluster))
 	s.mux.HandleFunc("POST /v1/outliers", s.compute("/v1/outliers", s.handleOutliers))
+	s.mux.HandleFunc("POST "+shard.PathPartials, s.shardRPC(shard.PathPartials, s.handleShardPartials))
+	s.mux.HandleFunc("POST "+shard.PathDraw, s.shardRPC(shard.PathDraw, s.handleShardDraw))
 	obs.Mount(s.mux, s.rec)
 }
 
@@ -169,6 +172,11 @@ type healthResponse struct {
 	ShedExpired   int64                     `json:"shed_expired"`
 	Cache         CacheStats                `json:"cache"`
 	Latency       map[string]LatencySummary `json:"latency,omitempty"`
+	// ShardLatency is the coordinator's downstream fan-out wait per
+	// phase (partials, draw) — separate from Latency, whose route
+	// digests fold everything a request did into one number, and from
+	// the build-stage histogram, which sharded builds deliberately skip.
+	ShardLatency map[string]LatencySummary `json:"shard_latency,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -183,6 +191,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		ShedExpired:   s.adm.ShedExpired(),
 		Cache:         s.cache.Stats(),
 		Latency:       s.latencySummaries(),
+		ShardLatency:  s.shardLatencySummaries(),
 	}
 	code := http.StatusOK
 	if s.adm.Draining() {
@@ -653,6 +662,13 @@ func (s *Server) sampleAt(ctx context.Context, rec *obs.Recorder, h *Handle, q s
 	tr := trace.FromContext(ctx)
 	t0 := tr.Now()
 	v, out, err := s.cache.GetOrBuild(q.key(fp, p), func() (any, int64, error) {
+		// Sharded builds reuse the single-node cache key: the scatter-
+		// gather result is bit-identical to the local build, so hit/miss
+		// and shard mode compose freely. OnePass stays local (its single
+		// pass has no exact normalizer to merge against).
+		if s.coord != nil && !q.OnePass {
+			return s.buildSampleSharded(ctx, rec, h, q, p, g)
+		}
 		if q.OnePass || s.exactAt(h, g) {
 			return s.buildSample(ctx, rec, h, q, p, g)
 		}

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
@@ -36,9 +39,16 @@ const (
 // fixed-size latency ring: cumulative process-life distributions that
 // Prometheus can rate(), instead of a 512-sample window that a burst
 // could rotate out of.
+//
+// HistShardSeconds is the coordinator's downstream fan-out wait, per
+// phase ("partials", "draw"). It is deliberately separate from
+// HistStageSeconds: a sharded build spends its time waiting on workers,
+// and folding that wait into the "build" stages would make coordinator-
+// local latency indistinguishable from downstream shard latency.
 const (
 	HistRequestSeconds = "server_request_seconds" // label: route
 	HistStageSeconds   = "server_stage_seconds"   // label: stage
+	HistShardSeconds   = "server_shard_seconds"   // label: stage (partials|draw)
 )
 
 // TraceHeader is the response header carrying the request's trace ID.
@@ -129,6 +139,31 @@ type Config struct {
 	// compute request: trace ID, route, status, cache outcome, queue
 	// wait, and the per-stage latency breakdown.
 	AccessLog io.Writer
+
+	// ShardWorkers > 0 turns sharded sample builds on with that many
+	// in-process shard workers (goroutine-backed, all sharing this
+	// server's registry and cache). Sharded builds run the exact
+	// algorithm only and are bit-identical to the single-node build at
+	// every worker count; they require Float64 precision. Mutually
+	// exclusive with ShardPeers.
+	ShardWorkers int
+	// ShardPeers turns HTTP shard mode on: shard name → base URL of a
+	// dbsserve worker started with -shard-of <name>, holding the same
+	// dataset content (the per-generation fingerprint is verified on
+	// every RPC; divergence is a loud 503, never a wrong merge).
+	ShardPeers map[string]string
+	// ShardReplicas is how many workers may serve each block group: the
+	// consistent-hash owner plus ShardReplicas-1 ring successors as
+	// hedge/fallback targets (default 2, clamped to the worker count).
+	ShardReplicas int
+	// ShardHedge is the latency budget after which a pending shard RPC
+	// is hedged to the next replica (0 = no hedging). Hedging changes
+	// latency, never bytes: every replica computes the identical answer.
+	ShardHedge time.Duration
+	// ShardOf, when set, is this server's worker identity: shard RPCs
+	// naming any other shard are rejected. Workers without it accept any
+	// shard name (the in-process mode and single-purpose test workers).
+	ShardOf string
 }
 
 // tracingEnabled reports whether requests collect traces: any consumer
@@ -170,6 +205,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceRing == 0 {
 		c.TraceRing = 64
 	}
+	if c.ShardReplicas == 0 {
+		c.ShardReplicas = 2
+	}
 	return c
 }
 
@@ -199,6 +237,13 @@ type Server struct {
 	slowTrace *trace.Ring
 	accessLog *accessLogger
 	traceOn   bool
+
+	// Sharded serving: the scatter-gather coordinator (nil unless
+	// ShardWorkers/ShardPeers configured this server as a coordinator)
+	// and the worker-side executor behind /internal/shard (always
+	// mounted, so any server can serve as a worker).
+	coord   *shard.Coordinator
+	shardEx *shardExecutor
 }
 
 // New builds a Server from cfg.
@@ -228,8 +273,45 @@ func New(cfg Config) *Server {
 	if cfg.AccessLog != nil {
 		s.accessLog = &accessLogger{w: cfg.AccessLog}
 	}
+	s.shardEx = &shardExecutor{s: s}
+	if shards := s.buildShards(); len(shards) > 0 {
+		s.coord = shard.NewCoordinator(shard.Config{
+			Shards:   shards,
+			Replicas: cfg.ShardReplicas,
+			Hedge:    cfg.ShardHedge,
+			Faults:   cfg.Faults,
+			Rec:      s.rec,
+		})
+	}
 	s.routes()
 	return s
+}
+
+// buildShards assembles the coordinator's worker set: named HTTP clients
+// for ShardPeers (sorted by name, so every coordinator over the same
+// peer set derives the same ring), or ShardWorkers in-process workers
+// sharing this server's executor. Empty when sharding is off.
+func (s *Server) buildShards() []shard.Shard {
+	if len(s.cfg.ShardPeers) > 0 {
+		names := make([]string, 0, len(s.cfg.ShardPeers))
+		for name := range s.cfg.ShardPeers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		shards := make([]shard.Shard, len(names))
+		for i, name := range names {
+			shards[i] = shard.NewClient(name, s.cfg.ShardPeers[name], nil)
+		}
+		return shards
+	}
+	if s.cfg.ShardWorkers > 0 {
+		shards := make([]shard.Shard, s.cfg.ShardWorkers)
+		for i := range shards {
+			shards[i] = shard.NewLocal(fmt.Sprintf("w%d", i), s.shardEx)
+		}
+		return shards
+	}
+	return nil
 }
 
 // Handler returns the full API: the /v1 endpoints, /healthz, and the
@@ -260,24 +342,37 @@ type LatencySummary struct {
 }
 
 func (s *Server) latencySummaries() map[string]LatencySummary {
+	return s.histSummaries(HistRequestSeconds, "route")
+}
+
+// shardLatencySummaries digests the coordinator's downstream fan-out
+// wait per phase — the /healthz view that separates time spent waiting
+// on shard workers from coordinator-local build time.
+func (s *Server) shardLatencySummaries() map[string]LatencySummary {
+	return s.histSummaries(HistShardSeconds, "stage")
+}
+
+// histSummaries digests every labeled series of one histogram family
+// into the frozen count/p50/p99 shape, keyed by the label's value.
+func (s *Server) histSummaries(name, labelKey string) map[string]LatencySummary {
 	var out map[string]LatencySummary
 	for _, h := range s.rec.Histograms() {
-		if h.Name() != HistRequestSeconds || h.Count() == 0 {
+		if h.Name() != name || h.Count() == 0 {
 			continue
 		}
-		route := ""
+		key := ""
 		for _, l := range h.Labels() {
-			if l.Key == "route" {
-				route = l.Value
+			if l.Key == labelKey {
+				key = l.Value
 			}
 		}
-		if route == "" {
+		if key == "" {
 			continue
 		}
 		if out == nil {
 			out = make(map[string]LatencySummary)
 		}
-		out[route] = LatencySummary{
+		out[key] = LatencySummary{
 			Count: int(h.Count()),
 			P50ms: h.Quantile(0.50) * 1e3,
 			P99ms: h.Quantile(0.99) * 1e3,

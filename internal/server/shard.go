@@ -1,0 +1,312 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kde"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/trace"
+)
+
+// This file is the serving layer's two halves of the sharded protocol:
+// the worker side (shardExecutor + the /internal/shard RPC handlers,
+// mounted on every server so any dbsserve can serve as a shard worker)
+// and the coordinator side (buildSampleSharded, the sharded replacement
+// for buildSample when ShardWorkers/ShardPeers are configured).
+//
+// The parity contract: a sharded /v1/sample response is byte-identical
+// to the single-node response for the same request, at every shard
+// count, worker count, replica count, and with hedging on or off. It
+// rests on four locally-checkable facts: (1) workers build the estimator
+// from (fingerprint-verified view, params, seed) exactly as buildEstimator
+// does, so every worker holds the identical estimator and derives the
+// identical density floor; (2) per-block partial k_a sums are re-added
+// in global block order (shard.MergeNorm), reproducing ExactNorm's
+// addition order; (3) the coin pass reconstructs each block's RNG stream
+// from (base, block index) and runs Draw's own selection loop
+// (core.DrawBlocks); (4) selections are concatenated in global block
+// order. Sharded builds are always exact (two passes) — DriftTol's
+// incremental extends never run here, because an extended artifact
+// depends on append lineage a stateless worker does not share.
+
+// shardExecutor implements shard.Executor over the server's registry and
+// artifact cache — the compute surface behind both the in-process worker
+// mode and the /internal/shard HTTP endpoints.
+type shardExecutor struct {
+	s *Server
+}
+
+// resolve maps request params onto this server's local state: a
+// generation-pinned view whose content fingerprint matches the request
+// (the guard that turns dataset divergence between replicas into a loud
+// error instead of a silently wrong merge), the exactly-built estimator
+// for the params, and the draw options mirroring the local build's.
+func (e *shardExecutor) resolve(ctx context.Context, rec *obs.Recorder, p shard.Params) (dataset.Dataset, *kde.Estimator, core.Options, func(), error) {
+	s := e.s
+	fail := func(err error) (dataset.Dataset, *kde.Estimator, core.Options, func(), error) {
+		return nil, nil, core.Options{}, nil, err
+	}
+	h, err := s.reg.Acquire(p.Dataset)
+	if err != nil {
+		return fail(err)
+	}
+	fp, err := h.FingerprintAt(p.Generation)
+	if err != nil {
+		h.Release()
+		return fail(fmt.Errorf("shard worker: generation %d of %q: %w", p.Generation, p.Dataset, err))
+	}
+	if have := fmt.Sprintf("%016x", fp); have != p.Fingerprint {
+		h.Release()
+		return fail(fmt.Errorf("shard worker: fingerprint mismatch for %q gen %d: have %s, coordinator wants %s",
+			p.Dataset, p.Generation, have, p.Fingerprint))
+	}
+	ep := estParams{Kernels: p.Kernels, Kernel: p.Kernel, Seed: p.Seed}
+	if err := ep.normalize(); err != nil {
+		h.Release()
+		return fail(err)
+	}
+	view, err := h.ViewAt(p.Generation)
+	if err != nil {
+		h.Release()
+		return fail(err)
+	}
+	est, err := s.shardEstimatorAt(ctx, rec, h, ep, p.Generation)
+	if err != nil {
+		h.Release()
+		return fail(err)
+	}
+	opts := core.Options{
+		Alpha:       p.Alpha,
+		TargetSize:  p.Size,
+		Parallelism: s.cfg.Parallelism,
+		BlockSize:   p.BlockSize,
+		Precision:   s.cfg.Precision,
+		Obs:         rec,
+		Ctx:         ctx,
+	}
+	return view, est, opts, h.Release, nil
+}
+
+// Partials implements shard.Executor: the per-block partial k_a sums of
+// phase one, hex-encoded bit patterns on the wire.
+func (e *shardExecutor) Partials(ctx context.Context, req *shard.PartialsRequest) (*shard.PartialsResponse, error) {
+	if err := e.checkIdentity(req.Shard); err != nil {
+		return nil, err
+	}
+	rec := obs.New()
+	rec.SetTrace(trace.FromContext(ctx))
+	defer e.s.rec.Merge(rec)
+	view, est, opts, release, err := e.resolve(ctx, rec, req.Params)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	parts, err := core.NormPartials(view, est, opts, req.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	resp := &shard.PartialsResponse{Partials: make([]string, len(parts))}
+	for i, v := range parts {
+		resp.Partials[i] = shard.EncodeF64(v)
+	}
+	return resp, nil
+}
+
+// Draw implements shard.Executor: phase two's per-block coin flips
+// against the coordinator's exact merged normalizer and stream base.
+func (e *shardExecutor) Draw(ctx context.Context, req *shard.DrawRequest) (*shard.DrawResponse, error) {
+	if err := e.checkIdentity(req.Shard); err != nil {
+		return nil, err
+	}
+	norm, err := shard.DecodeF64(req.NormBits)
+	if err != nil {
+		return nil, err
+	}
+	rec := obs.New()
+	rec.SetTrace(trace.FromContext(ctx))
+	defer e.s.rec.Merge(rec)
+	view, est, opts, release, rerr := e.resolve(ctx, rec, req.Params)
+	if rerr != nil {
+		return nil, rerr
+	}
+	defer release()
+	blocks, err := core.DrawBlocks(view, est, opts, norm, req.Base, req.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	resp := &shard.DrawResponse{Blocks: make([]shard.BlockDraw, len(blocks))}
+	for i, bs := range blocks {
+		bd := shard.BlockDraw{
+			Block:     bs.Block,
+			Points:    make([][]float64, len(bs.Points)),
+			Weights:   make([]float64, len(bs.Points)),
+			Saturated: bs.Saturated,
+		}
+		for j, wp := range bs.Points {
+			bd.Points[j] = wp.P
+			bd.Weights[j] = wp.W
+		}
+		resp.Blocks[i] = bd
+	}
+	return resp, nil
+}
+
+// checkIdentity rejects RPCs addressed to a different worker when this
+// server runs with an explicit -shard-of identity — a misrouted request
+// means the coordinator's view of the fleet is wrong, which must surface,
+// not be served.
+func (e *shardExecutor) checkIdentity(want string) error {
+	if of := e.s.cfg.ShardOf; of != "" && want != of {
+		return fmt.Errorf("shard worker: request addressed to %q, serving as %q", want, of)
+	}
+	return nil
+}
+
+// shardEstimatorAt returns the exactly-built estimator for generation g
+// — never a drift-extended one, whatever DriftTol says, because an
+// extended artifact depends on the coordinator's append lineage and a
+// worker must derive the identical estimator from the generation's
+// content alone. When the drift schedule would have built exactly anyway
+// the ordinary cache entry is shared; otherwise the exact artifact gets
+// its own "|exact" key so the two never collide.
+func (s *Server) shardEstimatorAt(ctx context.Context, rec *obs.Recorder, h *Handle, p estParams, g uint64) (*kde.Estimator, error) {
+	if s.exactAt(h, g) {
+		est, _, err := s.estimatorAt(ctx, rec, h, p, g)
+		return est, err
+	}
+	fp, err := h.FingerprintAt(g)
+	if err != nil {
+		return nil, err
+	}
+	v, _, err := s.cache.GetOrBuild(p.key(fp)+"|exact", func() (any, int64, error) {
+		return s.buildEstimator(ctx, rec, h, p, g)
+	})
+	s.syncCacheCounters()
+	if err != nil {
+		return nil, err
+	}
+	return v.(*kde.Estimator), nil
+}
+
+// shardRPC wraps a worker-side shard endpoint: request counting, its own
+// deadline, trace stitching (a fresh trace whose parent is the
+// coordinator's X-DBS-Trace ID), route histogram, and ring/access-log
+// filing — compute() minus admission control. Shard RPCs run inside a
+// user request the coordinator already admitted; admitting them again
+// would let the internal fan-out of admitted work deadlock behind new
+// external work.
+func (s *Server) shardRPC(route string, fn func(ctx context.Context, r *http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.rec.Counter(CtrRequests).Inc()
+		id := s.ids.Next()
+		w.Header().Set(TraceHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		var tr *trace.Trace
+		if s.traceOn {
+			tr = trace.New(id)
+			if parent := r.Header.Get(TraceHeader); parent != "" {
+				tr.Eventf("rpc", "parent=%s", parent)
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Deadline)
+		defer cancel()
+		ctx = trace.NewContext(ctx, tr)
+		defer func() {
+			s.observe(route, start)
+			s.finishRequest(tr, route, sw, start)
+		}()
+		resp, err := fn(ctx, r)
+		if err != nil {
+			s.pipelineFail(sw, err)
+			return
+		}
+		writeJSON(sw, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleShardPartials(ctx context.Context, r *http.Request) (any, error) {
+	var req shard.PartialsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, fmt.Errorf("decoding shard partials request: %v", err)
+	}
+	return s.shardEx.Partials(ctx, &req)
+}
+
+func (s *Server) handleShardDraw(ctx context.Context, r *http.Request) (any, error) {
+	var req shard.DrawRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, fmt.Errorf("decoding shard draw request: %v", err)
+	}
+	return s.shardEx.Draw(ctx, &req)
+}
+
+// buildSampleSharded is buildSample's scatter-gather twin: phase one
+// merges per-shard partial normalizers into the exact global k_a, phase
+// two fans the coin flips out against it and concatenates selections in
+// global block order. The RNG derivation matches buildSample exactly
+// (same seed streams, same one draw for the stream base), so the
+// artifact — and therefore the response bytes — is identical to the
+// single-node build. Fan-out wait is observed into HistShardSeconds per
+// phase, not into the build-stage histogram: /healthz separates time
+// spent waiting on workers from coordinator-local work. Replica
+// fallback and hedging live in the coordinator; a fan-out that exhausts
+// every replica surfaces as a transient error (503 upstream), and a
+// degenerate or short response can never merge silently.
+func (s *Server) buildSampleSharded(ctx context.Context, rec *obs.Recorder, h *Handle, q sampleRequest, p estParams, g uint64) (any, int64, error) {
+	if s.cfg.Precision == core.Float32 {
+		return nil, 0, fmt.Errorf("sharded serving requires float64 precision")
+	}
+	view, err := h.ViewAt(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	fp, err := h.FingerprintAt(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	prm := shard.Params{
+		Dataset:     q.Dataset,
+		Generation:  g,
+		Fingerprint: fmt.Sprintf("%016x", fp),
+		Alpha:       q.Alpha,
+		Size:        q.Size,
+		Kernels:     p.Kernels,
+		Kernel:      p.Kernel,
+		Seed:        p.Seed,
+	}
+	n := view.Len()
+	span := rec.StartSpan("server/build/sample_sharded")
+	defer span.End()
+
+	t0 := time.Now()
+	norm, err := s.coord.Norm(ctx, prm, n)
+	s.rec.Histogram(HistShardSeconds, obs.Label{Key: "stage", Value: "partials"}).
+		Observe(time.Since(t0).Seconds())
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// One draw of the request's draw stream, exactly where core.Draw
+	// would consume it — the base every worker reconstructs its block
+	// streams from.
+	_, drawRNG := seedStreams(p.Seed)
+	base := core.DrawStreamBase(drawRNG)
+
+	t1 := time.Now()
+	sm, err := s.coord.Draw(ctx, prm, n, view.Dims(), norm, base)
+	s.rec.Histogram(HistShardSeconds, obs.Label{Key: "stage", Value: "draw"}).
+		Observe(time.Since(t1).Seconds())
+	if err != nil {
+		return nil, 0, err
+	}
+	span.AddPoints(int64(n))
+	ns := core.NormState{K: sm.Norm, N: n, Kernels: p.Kernels}
+	return &sampleArtifact{s: sm, ns: ns}, sampleBytes(sm), nil
+}

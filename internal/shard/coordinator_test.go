@@ -1,0 +1,320 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/geom"
+	"repro/internal/kde"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// coreExec is a real worker over an in-memory dataset: the same
+// core.NormPartials / core.DrawBlocks calls the serving layer's executor
+// makes, minus the registry plumbing.
+type coreExec struct {
+	ds  dataset.Dataset
+	est core.DensityEstimator
+}
+
+func (e *coreExec) opts(p Params) core.Options {
+	return core.Options{Alpha: p.Alpha, TargetSize: p.Size, BlockSize: p.BlockSize}
+}
+
+func (e *coreExec) Partials(ctx context.Context, req *PartialsRequest) (*PartialsResponse, error) {
+	parts, err := core.NormPartials(e.ds, e.est, e.opts(req.Params), req.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	resp := &PartialsResponse{Partials: make([]string, len(parts))}
+	for i, v := range parts {
+		resp.Partials[i] = EncodeF64(v)
+	}
+	return resp, nil
+}
+
+func (e *coreExec) Draw(ctx context.Context, req *DrawRequest) (*DrawResponse, error) {
+	norm, err := DecodeF64(req.NormBits)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := core.DrawBlocks(e.ds, e.est, e.opts(req.Params), norm, req.Base, req.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	resp := &DrawResponse{Blocks: make([]BlockDraw, len(blocks))}
+	for i, bs := range blocks {
+		bd := BlockDraw{
+			Block:     bs.Block,
+			Points:    make([][]float64, len(bs.Points)),
+			Weights:   make([]float64, len(bs.Points)),
+			Saturated: bs.Saturated,
+		}
+		for j, wp := range bs.Points {
+			bd.Points[j] = wp.P
+			bd.Weights[j] = wp.W
+		}
+		resp.Blocks[i] = bd
+	}
+	return resp, nil
+}
+
+// downShard fails every RPC; slowShard answers after a fixed delay.
+type downShard struct{ Shard }
+
+func (d downShard) Partials(context.Context, *PartialsRequest) (*PartialsResponse, error) {
+	return nil, errors.New("shard down")
+}
+func (d downShard) Draw(context.Context, *DrawRequest) (*DrawResponse, error) {
+	return nil, errors.New("shard down")
+}
+
+type slowShard struct {
+	Shard
+	d time.Duration
+}
+
+func (s slowShard) Partials(ctx context.Context, req *PartialsRequest) (*PartialsResponse, error) {
+	select {
+	case <-time.After(s.d):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return s.Shard.Partials(ctx, req)
+}
+
+func (s slowShard) Draw(ctx context.Context, req *DrawRequest) (*DrawResponse, error) {
+	select {
+	case <-time.After(s.d):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return s.Shard.Draw(ctx, req)
+}
+
+// fixture builds (dataset, estimator, single-node reference sample) plus a
+// factory for worker shards over the same data.
+type fixture struct {
+	ds   *dataset.InMemory
+	est  *kde.Estimator
+	p    Params
+	n    int
+	want *core.Sample
+	base uint64
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	rng := stats.NewRNG(61)
+	pts := make([]geom.Point, 2500)
+	for i := range pts {
+		if i%3 == 0 {
+			pts[i] = geom.Point{0.2 + 0.05*rng.Float64(), 0.2 + 0.05*rng.Float64()}
+		} else {
+			pts[i] = geom.Point{rng.Float64(), rng.Float64()}
+		}
+	}
+	ds := dataset.MustInMemory(pts)
+	est, err := kde.Build(ds, kde.Options{NumKernels: 80}, stats.NewRNG(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Dataset: "gauss", Alpha: 0.5, Size: 300, Seed: 9, BlockSize: 128}
+	opts := core.Options{Alpha: p.Alpha, TargetSize: p.Size, BlockSize: p.BlockSize}
+	drng := stats.NewRNG(p.Seed)
+	want, err := core.Draw(ds, est, opts, drng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brng := stats.NewRNG(p.Seed)
+	return &fixture{ds: ds, est: est, p: p, n: ds.Len(), want: want, base: core.DrawStreamBase(brng)}
+}
+
+func (f *fixture) locals(n int) []Shard {
+	out := make([]Shard, n)
+	for i := range out {
+		out[i] = NewLocal(fmt.Sprintf("w%d", i), &coreExec{ds: f.ds, est: f.est})
+	}
+	return out
+}
+
+// run executes the two-phase protocol and checks the result against the
+// single-node reference byte for byte.
+func (f *fixture) run(t *testing.T, c *Coordinator) {
+	t.Helper()
+	ctx := context.Background()
+	norm, err := c.Norm(ctx, f.p, f.n)
+	if err != nil {
+		t.Fatalf("Norm: %v", err)
+	}
+	if math.Float64bits(norm) != math.Float64bits(f.want.Norm) {
+		t.Fatalf("norm %x != single-node %x", math.Float64bits(norm), math.Float64bits(f.want.Norm))
+	}
+	got, err := c.Draw(ctx, f.p, f.n, f.ds.Dims(), norm, f.base)
+	if err != nil {
+		t.Fatalf("Draw: %v", err)
+	}
+	if len(got.Points) != len(f.want.Points) {
+		t.Fatalf("%d points, want %d", len(got.Points), len(f.want.Points))
+	}
+	for i := range got.Points {
+		if !got.Points[i].P.Equal(f.want.Points[i].P) ||
+			math.Float64bits(got.Points[i].W) != math.Float64bits(f.want.Points[i].W) {
+			t.Fatalf("point %d differs: %+v vs %+v", i, got.Points[i], f.want.Points[i])
+		}
+	}
+	if got.Saturated != f.want.Saturated || got.DataPasses != 2 {
+		t.Fatalf("saturated=%d passes=%d, want %d and 2", got.Saturated, got.DataPasses, f.want.Saturated)
+	}
+}
+
+// TestCoordinatorParity: the scatter-gather result is bit-identical to
+// single-node core.Draw at every shard count and replica count.
+func TestCoordinatorParity(t *testing.T) {
+	f := newFixture(t)
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, replicas := range []int{1, 2, 3} {
+			c := NewCoordinator(Config{Shards: f.locals(shards), Replicas: replicas})
+			f.run(t, c)
+		}
+	}
+}
+
+// TestCoordinatorFallback: with a dead shard and replicas=2, every group
+// still resolves — on the surviving replica — and the bytes are exact.
+func TestCoordinatorFallback(t *testing.T) {
+	f := newFixture(t)
+	shards := f.locals(3)
+	shards[0] = downShard{shards[0]}
+	rec := obs.New()
+	c := NewCoordinator(Config{Shards: shards, Replicas: 2, Rec: rec})
+	f.run(t, c)
+	if rec.Counter(CtrFallbacks).Value() == 0 {
+		t.Error("dead shard triggered no fallbacks")
+	}
+	if rec.Counter(CtrRPCErrors).Value() == 0 {
+		t.Error("dead shard produced no RPC errors")
+	}
+}
+
+// TestCoordinatorAllReplicasFail: when every candidate for a group is
+// dead, the phase fails loudly instead of merging a partial result.
+func TestCoordinatorAllReplicasFail(t *testing.T) {
+	f := newFixture(t)
+	shards := f.locals(2)
+	shards[0] = downShard{shards[0]}
+	shards[1] = downShard{shards[1]}
+	c := NewCoordinator(Config{Shards: shards, Replicas: 2})
+	if _, err := c.Norm(context.Background(), f.p, f.n); err == nil {
+		t.Fatal("Norm succeeded with every shard down")
+	} else if !strings.Contains(err.Error(), "replicas failed") {
+		t.Fatalf("error %q does not name replica exhaustion", err)
+	}
+}
+
+// TestCoordinatorHedge: slow shards plus a tiny hedge budget fire hedges;
+// the result is still exact because every replica computes the same bytes.
+func TestCoordinatorHedge(t *testing.T) {
+	f := newFixture(t)
+	shards := f.locals(2)
+	shards[0] = slowShard{Shard: shards[0], d: 30 * time.Millisecond}
+	shards[1] = slowShard{Shard: shards[1], d: 30 * time.Millisecond}
+	rec := obs.New()
+	c := NewCoordinator(Config{Shards: shards, Replicas: 2, Hedge: time.Millisecond, Rec: rec})
+	f.run(t, c)
+	if rec.Counter(CtrHedges).Value() == 0 {
+		t.Error("slow shards under a 1ms budget fired no hedges")
+	}
+}
+
+// TestCoordinatorTruncationNeverSilent: with partial-response faults on
+// every attempt, no phase can succeed — a truncated reply must fail
+// validation on every replica and surface as an error, never as a short
+// merge.
+func TestCoordinatorTruncationNeverSilent(t *testing.T) {
+	f := newFixture(t)
+	inj := faults.New(faults.Config{Seed: 5, PPartial: 1})
+	c := NewCoordinator(Config{Shards: f.locals(2), Replicas: 2, Faults: inj})
+	if _, err := c.Norm(context.Background(), f.p, f.n); err == nil {
+		t.Fatal("Norm succeeded though every response was truncated")
+	}
+	norm := f.want.Norm
+	if _, err := c.Draw(context.Background(), f.p, f.n, f.ds.Dims(), norm, f.base); err == nil {
+		t.Fatal("Draw succeeded though every response was truncated")
+	}
+}
+
+// TestCoordinatorTruncationFallsBack: when only some attempts truncate,
+// the fallback replica serves the group and the bytes stay exact.
+func TestCoordinatorTruncationFallsBack(t *testing.T) {
+	f := newFixture(t)
+	rec := obs.New()
+	inj := faults.New(faults.Config{Seed: 8, PPartial: 0.5})
+	c := NewCoordinator(Config{Shards: f.locals(4), Replicas: 3, Rec: rec, Faults: inj})
+	// The schedule is deterministic; with p=0.5 and 3 candidates a group
+	// can still exhaust its replicas. Accept either exact bytes or a loud
+	// error — what must never happen is a silent short merge (run checks
+	// bytes whenever the phases succeed).
+	norm, err := c.Norm(context.Background(), f.p, f.n)
+	if err != nil {
+		t.Logf("Norm failed loudly (acceptable): %v", err)
+		return
+	}
+	if math.Float64bits(norm) != math.Float64bits(f.want.Norm) {
+		t.Fatalf("merged norm differs despite success: %x != %x",
+			math.Float64bits(norm), math.Float64bits(f.want.Norm))
+	}
+	got, err := c.Draw(context.Background(), f.p, f.n, f.ds.Dims(), norm, f.base)
+	if err != nil {
+		t.Logf("Draw failed loudly (acceptable): %v", err)
+		return
+	}
+	if len(got.Points) != len(f.want.Points) {
+		t.Fatalf("%d points, want %d", len(got.Points), len(f.want.Points))
+	}
+	if rec.Counter(CtrFallbacks).Value() == 0 && rec.Counter(CtrRPCErrors).Value() == 0 {
+		t.Error("p=0.5 truncation schedule injected nothing across both phases")
+	}
+}
+
+// TestCoordinatorCancel: a dead caller context surfaces as a
+// cancellation, not a replica-exhaustion error.
+func TestCoordinatorCancel(t *testing.T) {
+	f := newFixture(t)
+	shards := f.locals(2)
+	shards[0] = slowShard{Shard: shards[0], d: time.Second}
+	shards[1] = slowShard{Shard: shards[1], d: time.Second}
+	c := NewCoordinator(Config{Shards: shards, Replicas: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := c.Norm(ctx, f.p, f.n); err == nil {
+		t.Fatal("Norm survived a canceled context")
+	}
+}
+
+// TestCoordinatorRejectsBadWiring pins the construction-time panics.
+func TestCoordinatorRejectsBadWiring(t *testing.T) {
+	f := newFixture(t)
+	for name, cfg := range map[string]Config{
+		"empty": {},
+		"dup":   {Shards: append(f.locals(1), f.locals(1)...)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			NewCoordinator(cfg)
+		}()
+	}
+}

@@ -82,9 +82,20 @@ func (r *RNG) SplitsValues(n int, out []RNG) []RNG {
 	out = out[:n]
 	base := r.Uint64()
 	for i := range out {
-		out[i] = seededRNG(mix64(base + uint64(i)*0x9e3779b97f4a7c15))
+		out[i] = StreamAt(base, i)
 	}
 	return out
+}
+
+// StreamAt returns stream i of the fan-out that Splits/SplitsValues derive
+// from one draw of a parent generator: StreamAt(base, i) is bit-identical
+// to SplitsValues(n, nil)[i] when base was the parent's Uint64 draw. It
+// lets a distributed caller reconstruct any single stream from (base, i)
+// alone — a shard worker handed the base can flip exactly the coins the
+// single-node sampler would flip for its blocks, without materializing the
+// other shards' streams.
+func StreamAt(base uint64, i int) RNG {
+	return seededRNG(mix64(base + uint64(i)*0x9e3779b97f4a7c15))
 }
 
 // mix64 is the SplitMix64 finalizer: a bijective avalanche function that

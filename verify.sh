@@ -13,7 +13,7 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/... ./internal/faults/... ./internal/server/... ./internal/dataset/... ./internal/trace/...
+go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/... ./internal/faults/... ./internal/server/... ./internal/dataset/... ./internal/trace/... ./internal/shard/...
 # Chaos smoke: the seeded fault-injection suite in short mode (12 seeds) —
 # goroutine leaks, admission slot leaks, cache accounting drift, and any
 # fault-corrupted response fail this line fast; the full 60-seed sweep
@@ -23,6 +23,12 @@ go test -race -run Chaos -short ./internal/...
 # (stale-fingerprint regression, O(|delta|) pass accounting, tau=0
 # bit-for-bit parity) under the race detector.
 go test -race -run 'Chaos|Append' -short ./internal/server/
+# Sharded-serving smoke: the cross-mode parity matrix (single-node vs
+# in-process vs HTTP workers vs hedging vs dead-peer fallback, all
+# byte-identical) and the shard-RPC chaos suite (injected error/delay/
+# partial faults: exact bytes via replica fallback or a loud 503, never
+# a silently wrong merge) under the race detector.
+go test -race -run 'Chaos|Shard' -short ./internal/server/
 OBS_GUARD=1 go test -run TestObsOverheadGuard .
 # Tracing-overhead guard: a request trace forwarding every span must stay
 # within the same budget over the untraced draw (TRACE_GUARD gates the
