@@ -1,0 +1,155 @@
+// Command dbsload is the sustained-load generator for the serving
+// layer. With no target it self-hosts the "load" experiment — the
+// three-tenant WFQ/degrade/chaos proof — and emits the BENCH_load.json
+// document:
+//
+//	dbsload -json > BENCH_load.json
+//	dbsload -quick
+//
+// With -addr it drives an already-running server (e.g. dbsserve) with a
+// configurable tenant mix and prints the per-tenant report as JSON:
+//
+//	dbsload -addr http://localhost:8080 -dataset pts \
+//	        -tenants gold:closed:4,bronze:open:200 -duration 10s
+//
+// Each tenant entry is name:mode:rate — closed-loop rate is the worker
+// count, open-loop rate is arrivals per second. Requests rotate -seeds
+// distinct seeds; 1 keeps the artifact cache hot, large values force
+// cold builds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/loadgen"
+	"repro/internal/parallel"
+)
+
+// benchDoc mirrors dbsbench's BENCH_*.json schema.
+type benchDoc struct {
+	Environment benchEnv             `json:"environment"`
+	Results     []*experiments.Table `json:"results"`
+}
+
+type benchEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	BlockSize  int    `json:"block_size"`
+	Quick      bool   `json:"quick,omitempty"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "target server base URL; empty self-hosts the load experiment")
+		duration = flag.Duration("duration", 5*time.Second, "measurement window (-addr mode)")
+		tenants  = flag.String("tenants", "gold:closed:2,bronze:open:100", "tenant mix as name:mode:rate[,...] (-addr mode)")
+		dsName   = flag.String("dataset", "pts", "dataset name on the target (-addr mode)")
+		alpha    = flag.Float64("alpha", 1, "sample alpha (-addr mode)")
+		size     = flag.Int("size", 400, "sample size b (-addr mode)")
+		kernels  = flag.Int("kernels", 128, "kernel count (-addr mode)")
+		seeds    = flag.Int("seeds", 4, "distinct seeds rotated per tenant (-addr mode)")
+		quick    = flag.Bool("quick", false, "reduced workload (self-hosted mode)")
+		par      = flag.Int("p", 0, "worker parallelism: 0 = all CPUs")
+		seed     = flag.Uint64("seed", 1, "random seed (self-hosted mode)")
+		jsonOut  = flag.Bool("json", false, "emit JSON instead of a table")
+	)
+	flag.Parse()
+
+	if *addr != "" {
+		specs, err := parseMix(*tenants, *dsName, *alpha, *size, *kernels, *seeds)
+		if err != nil {
+			fatal("%v", err)
+		}
+		rep, err := loadgen.Run(loadgen.Options{BaseURL: strings.TrimRight(*addr, "/"), Duration: *duration, Specs: specs})
+		if err != nil {
+			fatal("%v", err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal("encoding JSON: %v", err)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Parallelism: *par}
+	start := time.Now()
+	tb, err := experiments.Run("load", cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	tb.ID = "load"
+	tb.Title = experiments.Title("load")
+	if *jsonOut {
+		doc := benchDoc{
+			Environment: benchEnv{
+				GoVersion:  runtime.Version(),
+				GOMAXPROCS: runtime.GOMAXPROCS(0),
+				NumCPU:     runtime.NumCPU(),
+				BlockSize:  parallel.DefaultBlockSize,
+				Quick:      *quick,
+			},
+			Results: []*experiments.Table{tb},
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal("encoding JSON: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "(load completed in %.1fs)\n", time.Since(start).Seconds())
+		return
+	}
+	fmt.Println(tb.String())
+	fmt.Printf("(load completed in %.1fs)\n", time.Since(start).Seconds())
+}
+
+// parseMix parses name:mode:rate tenant entries into loadgen specs.
+func parseMix(spec, dataset string, alpha float64, size, kernels, nseeds int) ([]loadgen.TenantSpec, error) {
+	if nseeds < 1 {
+		return nil, fmt.Errorf("dbsload: -seeds must be >= 1")
+	}
+	seeds := make([]uint64, nseeds)
+	for i := range seeds {
+		seeds[i] = 101 + uint64(i)
+	}
+	var specs []loadgen.TenantSpec
+	for _, ent := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(ent), ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("dbsload: tenant entry %q: want name:mode:rate", ent)
+		}
+		name, mode := parts[0], parts[1]
+		rate, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("dbsload: tenant entry %q: bad rate %q", ent, parts[2])
+		}
+		ts := loadgen.TenantSpec{
+			Tenant: name, Mode: mode,
+			Dataset: dataset, Alpha: alpha, Size: size, Kernels: kernels, Seeds: seeds,
+		}
+		switch mode {
+		case "closed":
+			ts.Conc = int(rate)
+		case "open":
+			ts.RPS = rate
+		default:
+			return nil, fmt.Errorf("dbsload: tenant entry %q: mode must be closed or open", ent)
+		}
+		specs = append(specs, ts)
+	}
+	return specs, nil
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dbsload: "+format+"\n", args...)
+	os.Exit(1)
+}

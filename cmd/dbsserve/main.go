@@ -9,6 +9,8 @@
 //
 //	dbsserve -addr :8080 gauss=data/gauss.dbs grid=data/grid.dbs
 //	dbsserve -addr :8080 -cache-bytes 67108864 -max-inflight 4 -deadline 10s
+//	dbsserve -addr :8080 -tenants 'gold:weight=4,priority=high;bronze:weight=1,queue=4' \
+//	         -disk-cache /var/lib/dbs/artifacts -degrade-ok
 //
 // Positional arguments pre-register datasets as name=path; more can be
 // registered at runtime via POST /v1/datasets. SIGINT/SIGTERM begin a
@@ -53,6 +55,10 @@ func main() {
 		accessLog  = flag.String("access-log", "", "structured JSON access log destination: a file path (appended) or - for stderr (empty disables)")
 		trRing     = flag.Int("trace-ring", 64, "capacity of each /debug/traces ring (recent and slow)")
 		trSeed     = flag.Uint64("trace-seed", 0, "deterministic trace-ID stream seed (0 = random); set for reproducible trace IDs in tests")
+		tenants    = flag.String("tenants", "", `per-tenant admission policies keyed by the X-DBS-Tenant header, as name:key=value,...;... (keys: weight, inflight, queue, priority=low|normal|high; "*" is the wildcard tenant; bare "gold:4" is weight shorthand); empty = one shared policy`)
+		diskDir    = flag.String("disk-cache", "", "disk artifact tier directory: built estimators and samples persist here and survive restarts (empty disables)")
+		diskBytes  = flag.Int64("disk-cache-bytes", 0, "disk artifact tier budget in bytes (0 = 4 GiB, negative = unbounded)")
+		degradeOK  = flag.Bool("degrade-ok", false, "degrade ladder: answer shed or transiently failing /v1/sample requests from the cached a=0 artifact (X-DBS-Degraded: a0) when one is resident")
 		shards     = flag.String("shards", "", "shard the sampling pipeline: an integer N for N in-process workers, or a comma-separated name=url list of dbsserve peers running -shard-of name (empty = single-node)")
 		shardOf    = flag.String("shard-of", "", "serve as the named shard worker: only shard RPCs addressed to this name are accepted (empty = not pinned)")
 		replicas   = flag.Int("replicas", 0, "replicas per block in sharded mode; failed shard RPCs fall back across them (0 = 2, capped at shard count)")
@@ -74,6 +80,10 @@ func main() {
 	cache := *cacheBytes
 	if cache == 0 {
 		cache = -1 // Config treats negative as disabled, zero as default.
+	}
+	policies, err := server.ParseTenantPolicies(*tenants)
+	if err != nil {
+		fatal("%v", err)
 	}
 	var accessW io.Writer
 	if *accessLog == "-" {
@@ -103,6 +113,10 @@ func main() {
 		TraceRing:     *trRing,
 		TraceSeed:     *trSeed,
 		AccessLog:     accessW,
+		Tenants:       policies,
+		DegradeOK:     *degradeOK,
+		DiskDir:       *diskDir,
+		DiskBytes:     *diskBytes,
 		ShardWorkers:  shardWorkers,
 		ShardPeers:    shardPeers,
 		ShardReplicas: *replicas,

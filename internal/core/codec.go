@@ -1,0 +1,123 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// Binary sample artifact format ("DBSS1"), the disk tier's payload for
+// cached draws. Unlike the estimator artifact, a sample has no derived
+// structure to rebuild: the weighted points, normalizer, pass counters,
+// and the incremental-extension NormState are stored verbatim so a
+// loaded artifact is byte-for-byte the sample that was drawn (including
+// everything ExtendDraw needs to continue from it).
+//
+// Layout (little-endian):
+//
+//	offset 0: magic "DBSS1" (5 bytes)
+//	then:     uint32 dims, uint32 numPoints,
+//	          uint32 dataPasses, uint32 saturated, float64 norm
+//	then:     NormState: float64 K, uint64 N, uint32 kernels, float64 drift
+//	then:     numPoints × (dims float64 coords, float64 weight)
+const sampleMagic = "DBSS1"
+
+const maxSampleElems = 1 << 31
+
+// MarshalSample serializes a draw together with the NormState that
+// future incremental extensions need.
+func MarshalSample(s *Sample, ns NormState) ([]byte, error) {
+	if s == nil || len(s.Points) == 0 {
+		return nil, errors.New("core: empty sample")
+	}
+	dims := s.Points[0].P.Dims()
+	size := len(sampleMagic) + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 4 + 8 +
+		len(s.Points)*(8*dims+8)
+	buf := make([]byte, 0, size)
+	buf = append(buf, sampleMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(dims))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Points)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.DataPasses))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Saturated))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Norm))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ns.K))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ns.N))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ns.Kernels))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ns.Drift))
+	for i, wp := range s.Points {
+		if wp.P.Dims() != dims {
+			return nil, fmt.Errorf("core: sample point %d has %d dims, want %d", i, wp.P.Dims(), dims)
+		}
+		for _, v := range wp.P {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(wp.W))
+	}
+	return buf, nil
+}
+
+// UnmarshalSample reconstructs a (Sample, NormState) pair serialized
+// with MarshalSample.
+func UnmarshalSample(data []byte) (*Sample, NormState, error) {
+	var ns NormState
+	r := data
+	take := func(n int) ([]byte, error) {
+		if len(r) < n {
+			return nil, errors.New("core: truncated sample artifact")
+		}
+		b := r[:n]
+		r = r[n:]
+		return b, nil
+	}
+	b, err := take(len(sampleMagic))
+	if err != nil {
+		return nil, ns, err
+	}
+	if string(b) != sampleMagic {
+		return nil, ns, fmt.Errorf("core: bad artifact magic %q", b)
+	}
+	if b, err = take(4 + 4 + 4 + 4 + 8 + 8 + 8 + 4 + 8); err != nil {
+		return nil, ns, err
+	}
+	dims := int(binary.LittleEndian.Uint32(b[0:4]))
+	numPoints := int(binary.LittleEndian.Uint32(b[4:8]))
+	s := &Sample{
+		DataPasses: int(binary.LittleEndian.Uint32(b[8:12])),
+		Saturated:  int(binary.LittleEndian.Uint32(b[12:16])),
+		Norm:       math.Float64frombits(binary.LittleEndian.Uint64(b[16:24])),
+	}
+	ns.K = math.Float64frombits(binary.LittleEndian.Uint64(b[24:32]))
+	nsN := binary.LittleEndian.Uint64(b[32:40])
+	ns.Kernels = int(binary.LittleEndian.Uint32(b[40:44]))
+	ns.Drift = math.Float64frombits(binary.LittleEndian.Uint64(b[44:52]))
+	if dims < 1 || numPoints < 1 || nsN > maxSampleElems ||
+		numPoints > maxSampleElems || dims > maxSampleElems/numPoints {
+		return nil, ns, fmt.Errorf("core: implausible artifact header (dims %d, points %d)", dims, numPoints)
+	}
+	ns.N = int(nsN)
+	if b, err = take(numPoints * (8*dims + 8)); err != nil {
+		return nil, ns, err
+	}
+	stride := 8 * (dims + 1)
+	coords := make([]float64, numPoints*dims)
+	s.Points = make([]dataset.WeightedPoint, numPoints)
+	for i := range s.Points {
+		row := b[i*stride:]
+		p := coords[i*dims : (i+1)*dims : (i+1)*dims]
+		for j := range p {
+			p[j] = math.Float64frombits(binary.LittleEndian.Uint64(row[8*j:]))
+		}
+		s.Points[i] = dataset.WeightedPoint{
+			P: geom.Point(p),
+			W: math.Float64frombits(binary.LittleEndian.Uint64(row[8*dims:])),
+		}
+	}
+	if len(r) != 0 {
+		return nil, ns, fmt.Errorf("core: %d trailing bytes after sample artifact", len(r))
+	}
+	return s, ns, nil
+}

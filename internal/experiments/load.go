@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+func init() {
+	register("load", "sustained multi-tenant load: WFQ isolation, degrade ladder, availability under chaos", loadExp)
+}
+
+// loadExp is the sustained-load SLO proof: a three-tenant mix — gold and
+// silver closed-loop over warm artifacts, bronze open-loop over cold
+// seeds at an arrival rate the server cannot absorb — replayed against
+// the none/light/heavy fault profiles. The admission queue is kept small
+// so the bronze flood has to queue and shed; the table shows whether the
+// weighted-fair scheduler kept the paying tenants' tails flat while
+// bronze (low priority, a=1 over a prewarmed a=0 ladder) absorbed the
+// overload as degraded answers and 429s. Availability counts degraded
+// responses: a coarser-but-sound sample is the ladder working, not an
+// outage. The isolation claim the table supports: every shed lands on
+// bronze — gold and silver stay at availability 1.0 — and gold's tail
+// under the flood is bounded by slot head-of-line (admitted builds are
+// never preempted), not by bronze's queue depth; the baseline row gives
+// the no-flood reference for that comparison.
+func loadExp(cfg Config) (*Table, error) {
+	n := 40000
+	window := 2 * time.Second
+	bronzeRPS := 300.0
+	if cfg.Quick {
+		n = 10000
+		window = 400 * time.Millisecond
+	}
+	setup := stats.NewRNG(cfg.Seed)
+	l := synth.EqualClusters(8, 3, n, 0.10, setup)
+	ds := l.Dataset()
+
+	diskDir, err := os.MkdirTemp("", "dbsload-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(diskDir)
+
+	warmSeeds := []uint64{101, 102}
+	// Bronze gets one fresh seed per expected arrival, offset per profile
+	// so the shared disk tier cannot warm a later profile's flood: every
+	// bronze a=1 request is a full cold build, which is what makes an
+	// open-loop stream at this rate saturating rather than a cache echo.
+	nCold := int(bronzeRPS*window.Seconds()) + 32
+	coldFor := func(profile int) []uint64 {
+		seeds := make([]uint64, nCold)
+		for i := range seeds {
+			seeds[i] = uint64(10000*(profile+1) + i)
+		}
+		return seeds
+	}
+
+	profiles := []struct {
+		name string
+		fc   *faults.Config
+	}{
+		{"none", nil},
+		{"light", &faults.Config{PError: 0.05, PDelay: 0.05, PPartial: 0.03, PCancel: 0.02, MaxDelay: 500 * time.Microsecond}},
+		{"heavy", &faults.Config{PError: 0.15, PDelay: 0.10, PPartial: 0.10, PCancel: 0.05, MaxDelay: 500 * time.Microsecond}},
+	}
+
+	t := &Table{
+		Columns: []string{"profile", "tenant", "mode", "sent", "ok", "degraded", "shed", "err", "p50 ms", "p99 ms", "p99.9 ms", "avail"},
+		Notes: []string{
+			fmt.Sprintf("POST /v1/sample, n = %d, d = 3, b = 400, 128 kernels, %.1fs window per profile", n, window.Seconds()),
+			"gold (w4, high) and silver (w2) closed-loop over 2 warm seeds; bronze (w1, low) open-loop, one fresh cold seed per arrival (offset per profile)",
+			fmt.Sprintf("bronze arrivals %.0f/s against max-inflight 2, queue 8 — saturation by construction", bronzeRPS),
+			"degrade ladder on: bronze's shed a=1 requests fall back to the prewarmed a=0 artifact (counted available)",
+			"gold baseline row: the same gold stream with no bronze flood, for the isolation comparison",
+		},
+	}
+
+	var goldBaselineP99 float64
+	for pi, prof := range profiles {
+		var inj *faults.Injector
+		if prof.fc != nil {
+			fc := *prof.fc
+			fc.Seed = cfg.Seed + uint64(pi)
+			inj = faults.New(fc)
+		}
+		rec := obs.New()
+		srv := server.New(server.Config{
+			Parallelism:  cfg.Parallelism,
+			MaxInFlight:  2,
+			MaxQueue:     8,
+			Deadline:     5 * time.Second,
+			StaleOK:      true,
+			Retry:        2,
+			RetryBackoff: time.Millisecond,
+			DegradeOK:    true,
+			DiskDir:      diskDir,
+			Faults:       inj,
+			Rec:          rec,
+			Tenants: map[string]server.TenantPolicy{
+				"gold":   {Weight: 4, Priority: server.PriorityHigh},
+				"silver": {Weight: 2},
+				"bronze": {Weight: 1, Priority: server.PriorityLow, MaxQueue: 4},
+			},
+		})
+		if err := srv.Registry().RegisterDataset("bench", faults.Wrap(ds, inj.Point("dataset"))); err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+
+		// Prewarm: the gold/silver identities and the a=0 degrade rungs
+		// for bronze's seed set, outside the measured window.
+		warm := func(alpha float64, seeds []uint64) error {
+			for _, seed := range seeds {
+				body := fmt.Sprintf(`{"dataset":"bench","alpha":%g,"size":400,"kernels":128,"seed":%d}`, alpha, seed)
+				// Prewarm is setup, not measurement: under the faulted
+				// profiles a warm build can 503, so retry. A rung that
+				// stays stuck is skipped — its requests then shed in the
+				// measured window instead of degrading, which the table
+				// reports honestly.
+				for attempt := 0; attempt < 24; attempt++ {
+					resp, err := http.Post(ts.URL+"/v1/sample", "application/json", bytes.NewReader([]byte(body)))
+					if err != nil {
+						return err
+					}
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						break
+					}
+				}
+			}
+			return nil
+		}
+		coldSeeds := coldFor(pi)
+		mix := []loadgen.TenantSpec{
+			{Tenant: "gold", Mode: "closed", Conc: 2, Dataset: "bench", Alpha: 1, Size: 400, Kernels: 128, Seeds: warmSeeds},
+			{Tenant: "silver", Mode: "closed", Conc: 2, Dataset: "bench", Alpha: 1, Size: 400, Kernels: 128, Seeds: warmSeeds},
+			{Tenant: "bronze", Mode: "open", RPS: bronzeRPS, Dataset: "bench", Alpha: 1, Size: 400, Kernels: 128, Seeds: coldSeeds},
+		}
+		if err := warm(1, warmSeeds); err != nil {
+			ts.Close()
+			return nil, err
+		}
+		if err := warm(0, coldSeeds); err != nil {
+			ts.Close()
+			return nil, err
+		}
+
+		// Baseline window (fault-free profile only): gold alone, for the
+		// isolation comparison.
+		if prof.fc == nil {
+			base, err := loadgen.Run(loadgen.Options{
+				BaseURL: ts.URL, Duration: window,
+				Specs: mix[:1],
+			})
+			if err != nil {
+				ts.Close()
+				return nil, err
+			}
+			g := base.Tenants[0]
+			goldBaselineP99 = g.P99ms
+			t.Rows = append(t.Rows, []string{
+				"baseline", "gold", "closed",
+				fmt.Sprintf("%d", g.Sent), fmt.Sprintf("%d", g.OK), "0", "0", "0",
+				fmt.Sprintf("%.3f", g.P50ms), fmt.Sprintf("%.3f", g.P99ms), fmt.Sprintf("%.3f", g.P999ms),
+				fmt.Sprintf("%.3f", g.Availability),
+			})
+			t.Benchmarks = append(t.Benchmarks, BenchResult{
+				Name: "Load_baseline_gold_p99", Iters: int(g.OK), NsPerOp: int64(g.P99ms * 1e6),
+			})
+		}
+
+		rep, err := loadgen.Run(loadgen.Options{BaseURL: ts.URL, Duration: window, Specs: mix})
+		ts.Close()
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range rep.Tenants {
+			shed := tr.Shed429 + tr.Unavail503 + tr.Timeout504
+			t.Rows = append(t.Rows, []string{
+				prof.name, tr.Tenant, tr.Mode,
+				fmt.Sprintf("%d", tr.Sent), fmt.Sprintf("%d", tr.OK),
+				fmt.Sprintf("%d", tr.Degraded), fmt.Sprintf("%d", shed),
+				fmt.Sprintf("%d", tr.Errors),
+				fmt.Sprintf("%.3f", tr.P50ms), fmt.Sprintf("%.3f", tr.P99ms), fmt.Sprintf("%.3f", tr.P999ms),
+				fmt.Sprintf("%.3f", tr.Availability),
+			})
+			t.Benchmarks = append(t.Benchmarks, BenchResult{
+				Name:  fmt.Sprintf("Load_%s_%s_p99", prof.name, tr.Tenant),
+				Iters: int(tr.OK), NsPerOp: int64(tr.P99ms * 1e6),
+			})
+			// Failures under load must be sheds (429/503/504), never 5xx
+			// surprises or transport errors — the chaos suite's guarantee,
+			// restated at load. The faulted profiles get the same check:
+			// injected faults surface as 503/504 after retries, not 500s.
+			if tr.Errors > 0 {
+				return nil, fmt.Errorf("load: profile %s tenant %s had %d non-shed failures", prof.name, tr.Tenant, tr.Errors)
+			}
+		}
+	}
+	if goldBaselineP99 > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("gold baseline p99 = %.3f ms — compare the flooded gold rows against it", goldBaselineP99))
+	}
+	return t, nil
+}

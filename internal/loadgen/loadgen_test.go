@@ -1,0 +1,92 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestRunTalliesPerTenant drives a stub server that answers each tenant
+// differently — gold always 200, bronze alternating degraded 200s and
+// 429s — and checks the per-tenant bookkeeping: counts land in the right
+// buckets, latency quantiles only cover successes, and availability
+// counts degraded responses as served.
+func TestRunTalliesPerTenant(t *testing.T) {
+	var bronzeN atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Header.Get(server.TenantHeader) {
+		case "bronze":
+			if bronzeN.Add(1)%2 == 0 {
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusTooManyRequests)
+				return
+			}
+			w.Header().Set(server.DegradedHeader, "a0")
+			w.WriteHeader(http.StatusOK)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer ts.Close()
+
+	rep, err := Run(Options{
+		BaseURL:  ts.URL,
+		Duration: 150 * time.Millisecond,
+		Specs: []TenantSpec{
+			{Tenant: "gold", Mode: "closed", Conc: 2, Dataset: "d", Alpha: 1, Size: 10, Kernels: 8, Seeds: []uint64{1, 2}},
+			{Tenant: "bronze", Mode: "open", RPS: 200, Dataset: "d", Alpha: 1, Size: 10, Kernels: 8, Seeds: []uint64{1}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("tenants = %d, want 2", len(rep.Tenants))
+	}
+	gold, bronze := rep.Tenants[0], rep.Tenants[1]
+	if gold.Tenant != "gold" || bronze.Tenant != "bronze" {
+		t.Fatalf("tenant order: %q, %q", gold.Tenant, bronze.Tenant)
+	}
+	if gold.Sent == 0 || gold.OK != gold.Sent || gold.Availability != 1 {
+		t.Errorf("gold = %+v, want all-success", gold)
+	}
+	if gold.Degraded != 0 || gold.Shed429 != 0 || gold.Errors != 0 {
+		t.Errorf("gold has stray outcomes: %+v", gold)
+	}
+	if gold.P50ms <= 0 || gold.P99ms < gold.P50ms || gold.P999ms < gold.P99ms {
+		t.Errorf("gold quantiles not ordered: %+v", gold)
+	}
+	if bronze.Sent == 0 || bronze.OK == 0 || bronze.Shed429 == 0 {
+		t.Errorf("bronze = %+v, want both 200s and 429s", bronze)
+	}
+	if bronze.Degraded != bronze.OK {
+		t.Errorf("bronze degraded = %d, ok = %d: every stub success was degraded", bronze.Degraded, bronze.OK)
+	}
+	if bronze.OK+bronze.Shed429 != bronze.Sent {
+		t.Errorf("bronze buckets don't partition: %+v", bronze)
+	}
+	if got := float64(bronze.OK) / float64(bronze.Sent); bronze.Availability != got {
+		t.Errorf("bronze availability = %v, want %v (degraded counts as served)", bronze.Availability, got)
+	}
+}
+
+func TestRunRejectsBadSpecs(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Error("empty spec list accepted")
+	}
+	base := TenantSpec{Tenant: "x", Dataset: "d", Alpha: 1, Size: 1, Kernels: 1, Seeds: []uint64{1}}
+	bad := base
+	bad.Mode = "sideways"
+	if _, err := Run(Options{BaseURL: "http://127.0.0.1:0", Duration: time.Millisecond, Specs: []TenantSpec{bad}}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	open := base
+	open.Mode = "open"
+	if _, err := Run(Options{BaseURL: "http://127.0.0.1:0", Duration: time.Millisecond, Specs: []TenantSpec{open}}); err == nil {
+		t.Error("open loop without RPS accepted")
+	}
+}

@@ -4,41 +4,50 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // accessRecord is one structured access-log line. Field order fixes
 // the JSON key order; durations are milliseconds throughout, matching
 // the /healthz digest.
 type accessRecord struct {
-	Time    string             `json:"time"`
-	TraceID string             `json:"trace_id"`
-	Route   string             `json:"route"`
-	Status  int                `json:"status"`
-	DurMs   float64            `json:"dur_ms"`
-	QueueMs float64            `json:"queue_ms"`
-	Cache   string             `json:"cache,omitempty"`
-	Bytes   int64              `json:"bytes"`
-	Slow    bool               `json:"slow,omitempty"`
-	Stages  map[string]float64 `json:"stages_ms,omitempty"`
+	Time     string             `json:"time"`
+	TraceID  string             `json:"trace_id"`
+	Route    string             `json:"route"`
+	Tenant   string             `json:"tenant,omitempty"`
+	Status   int                `json:"status"`
+	DurMs    float64            `json:"dur_ms"`
+	QueueMs  float64            `json:"queue_ms"`
+	Cache    string             `json:"cache,omitempty"`
+	Degraded bool               `json:"degraded,omitempty"`
+	Bytes    int64              `json:"bytes"`
+	Slow     bool               `json:"slow,omitempty"`
+	Stages   map[string]float64 `json:"stages_ms,omitempty"`
 }
 
 // accessLogger serializes one JSON line per completed request to its
 // writer. The mutex makes whole lines atomic under concurrent request
 // completion — interleaved halves of two lines would corrupt a log
-// processor — and a write error drops the line rather than failing the
-// request that produced it.
+// processor (TestAccessLogLineAtomicity interleaves requests under
+// -race and asserts every line parses) — and a write error drops the
+// line (counted) rather than failing the request that produced it.
 type accessLogger struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu      sync.Mutex
+	w       io.Writer
+	dropped atomic.Int64
 }
 
 func (l *accessLogger) log(rec accessRecord) {
 	b, err := json.Marshal(rec)
 	if err != nil {
+		l.dropped.Add(1)
 		return
 	}
 	b = append(b, '\n')
 	l.mu.Lock()
-	l.w.Write(b)
+	_, werr := l.w.Write(b)
 	l.mu.Unlock()
+	if werr != nil {
+		l.dropped.Add(1)
+	}
 }

@@ -23,6 +23,12 @@ const (
 	// OutcomeStale: the build failed but a previously evicted copy was
 	// served instead (graceful degradation).
 	OutcomeStale
+	// OutcomeDisk: the build closure loaded the artifact from the disk
+	// tier instead of recomputing it. The Cache itself counts these as
+	// misses (the memory tier did miss); the server's handlers remap the
+	// outcome after checking the disk-load flag, so the conservation law
+	// lookups == hits + misses + stale is unchanged.
+	OutcomeDisk
 )
 
 func (o Outcome) String() string {
@@ -31,6 +37,8 @@ func (o Outcome) String() string {
 		return "hit"
 	case OutcomeStale:
 		return "stale"
+	case OutcomeDisk:
+		return "disk"
 	default:
 		return "miss"
 	}
@@ -69,6 +77,8 @@ type Cache struct {
 	misses      atomic.Int64
 	staleServed atomic.Int64
 	evictions   atomic.Int64
+	peeks       atomic.Int64
+	peekHits    atomic.Int64
 }
 
 type centry struct {
@@ -179,6 +189,32 @@ func (c *Cache) GetOrBuild(key string, build func() (any, int64, error)) (any, O
 	}
 }
 
+// Peek returns the artifact cached under key without building, waiting
+// on an in-flight build, or counting toward the lookup conservation law
+// (peeks have their own counters). The degrade path uses it to check
+// for a servable fallback artifact while the server is shedding — a
+// peek must never trigger the expensive work admission just refused.
+func (c *Cache) Peek(key string) (any, bool) {
+	c.peeks.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*centry)
+		if e.done && e.err == nil {
+			c.ll.MoveToFront(el)
+			c.peekHits.Add(1)
+			return e.val, true
+		}
+		return nil, false
+	}
+	if sl, ok := c.stale[key]; ok {
+		c.sll.MoveToFront(sl)
+		c.peekHits.Add(1)
+		return sl.Value.(*sentry).val, true
+	}
+	return nil, false
+}
+
 // removeLocked takes el out of the primary index without touching byte
 // accounting (its size was never added). Waiters still hold e and read
 // its fields after ready closes.
@@ -247,6 +283,8 @@ type CacheStats struct {
 	Misses      int64 `json:"misses"`
 	StaleServed int64 `json:"stale_served"`
 	Evictions   int64 `json:"evictions"`
+	Peeks       int64 `json:"peeks,omitempty"`
+	PeekHits    int64 `json:"peek_hits,omitempty"`
 }
 
 // Stats returns the current counters.
@@ -265,6 +303,8 @@ func (c *Cache) Stats() CacheStats {
 		Misses:      c.misses.Load(),
 		StaleServed: c.staleServed.Load(),
 		Evictions:   c.evictions.Load(),
+		Peeks:       c.peeks.Load(),
+		PeekHits:    c.peekHits.Load(),
 	}
 }
 

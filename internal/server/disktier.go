@@ -1,0 +1,303 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/kde"
+)
+
+// DiskTier is the persistent artifact tier under the in-memory LRU:
+// estimator and sample artifacts (the DBSK1/DBSS1 codecs) are written
+// to content-addressed files keyed on the same fingerprint|params|seed
+// cache key the memory tier uses. A restarted server — or a fresh
+// replica pointed at a shared directory — finds the artifact on disk
+// and skips the dataset passes entirely (`X-DBS-Cache: disk`).
+//
+// Each artifact is one file named sha256(key) + ".dbsa":
+//
+//	offset 0: magic "DBSA1" (5 bytes)
+//	then:     uint32 key length, the key bytes (collision guard: a hash
+//	          match with a different key is treated as a miss)
+//	then:     the codec payload, verbatim
+//
+// Writes go through a temp file + rename, so readers never observe a
+// partial artifact and a crash mid-write leaves only a stray .tmp that
+// the next prune sweeps. The tier is best-effort by design: every
+// failure path (unreadable file, corrupt header, full disk) degrades to
+// a cache miss, never to a request error.
+type DiskTier struct {
+	dir      string
+	maxBytes int64
+
+	pruneMu sync.Mutex
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	stores atomic.Int64
+	errs   atomic.Int64
+}
+
+const diskMagic = "DBSA1"
+
+// NewDiskTier opens (creating if needed) the artifact directory,
+// bounded to maxBytes of stored artifacts (≤ 0 means unbounded).
+func NewDiskTier(dir string, maxBytes int64) (*DiskTier, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("server: disk tier needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: disk tier: %w", err)
+	}
+	return &DiskTier{dir: dir, maxBytes: maxBytes}, nil
+}
+
+// Dir returns the artifact directory.
+func (d *DiskTier) Dir() string { return d.dir }
+
+func (d *DiskTier) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:])+".dbsa")
+}
+
+// Load returns the payload stored under key, or ok=false on any miss
+// or failure. A corrupt or mismatched file is deleted so the slot heals
+// on the next Store.
+func (d *DiskTier) Load(key string) (payload []byte, ok bool) {
+	if d == nil {
+		return nil, false
+	}
+	path := d.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			d.errs.Add(1)
+		}
+		d.misses.Add(1)
+		return nil, false
+	}
+	hdr := len(diskMagic) + 4
+	if len(data) < hdr || string(data[:len(diskMagic)]) != diskMagic {
+		d.dropCorrupt(path)
+		return nil, false
+	}
+	keyLen := int(binary.LittleEndian.Uint32(data[len(diskMagic):hdr]))
+	if keyLen < 0 || len(data)-hdr < keyLen {
+		d.dropCorrupt(path)
+		return nil, false
+	}
+	if string(data[hdr:hdr+keyLen]) != key {
+		// sha256 collision or a foreign file: not ours.
+		d.misses.Add(1)
+		return nil, false
+	}
+	d.hits.Add(1)
+	return data[hdr+keyLen:], true
+}
+
+func (d *DiskTier) dropCorrupt(path string) {
+	d.errs.Add(1)
+	d.misses.Add(1)
+	os.Remove(path)
+}
+
+// Store writes the payload under key (atomically, via temp + rename)
+// and prunes the directory back under budget. Errors are counted and
+// swallowed by the caller: a failed store only costs a future rebuild.
+func (d *DiskTier) Store(key string, payload []byte) error {
+	if d == nil {
+		return nil
+	}
+	buf := make([]byte, 0, len(diskMagic)+4+len(key)+len(payload))
+	buf = append(buf, diskMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = append(buf, payload...)
+
+	tmp, err := os.CreateTemp(d.dir, "artifact-*.tmp")
+	if err != nil {
+		d.errs.Add(1)
+		return err
+	}
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		d.errs.Add(1)
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		d.errs.Add(1)
+		return err
+	}
+	d.stores.Add(1)
+	d.prune()
+	return nil
+}
+
+// prune deletes oldest-first (by modification time) until the directory
+// fits the byte budget, and sweeps abandoned temp files as it goes.
+func (d *DiskTier) prune() {
+	if d.maxBytes <= 0 {
+		return
+	}
+	d.pruneMu.Lock()
+	defer d.pruneMu.Unlock()
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		d.errs.Add(1)
+		return
+	}
+	type fileInfo struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var files []fileInfo
+	var total int64
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		full := filepath.Join(d.dir, name)
+		if filepath.Ext(name) == ".tmp" {
+			os.Remove(full)
+			continue
+		}
+		if filepath.Ext(name) != ".dbsa" {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, fileInfo{full, info.Size(), info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	if total <= d.maxBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		if total <= d.maxBytes {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+		}
+	}
+}
+
+// ---- server glue: typed load/store on the shared cache keys ----
+
+// diskEstimator loads and reconstructs the estimator stored under the
+// memory-cache key, re-attaching the server recorder. Any failure is a
+// miss.
+func (s *Server) diskEstimator(key string) (any, bool) {
+	if s.disk == nil {
+		return nil, false
+	}
+	payload, ok := s.disk.Load(key)
+	if !ok {
+		return nil, false
+	}
+	est, err := kde.UnmarshalEstimator(payload)
+	if err != nil {
+		s.disk.errs.Add(1)
+		return nil, false
+	}
+	est.SetRecorder(s.rec)
+	return est, true
+}
+
+// diskSample loads the sample artifact stored under the memory-cache
+// key. Any failure is a miss.
+func (s *Server) diskSample(key string) (any, bool) {
+	if s.disk == nil {
+		return nil, false
+	}
+	payload, ok := s.disk.Load(key)
+	if !ok {
+		return nil, false
+	}
+	sm, ns, err := core.UnmarshalSample(payload)
+	if err != nil {
+		s.disk.errs.Add(1)
+		return nil, false
+	}
+	return &sampleArtifact{s: sm, ns: ns}, true
+}
+
+// diskStore persists a freshly built artifact under its cache key,
+// best-effort: serialization or I/O failures cost a future rebuild,
+// never the request.
+func (s *Server) diskStore(key string, v any) {
+	if s.disk == nil {
+		return
+	}
+	var payload []byte
+	var err error
+	switch art := v.(type) {
+	case *kde.Estimator:
+		payload, err = art.MarshalBinary()
+	case *sampleArtifact:
+		payload, err = core.MarshalSample(art.s, art.ns)
+	default:
+		return
+	}
+	if err != nil {
+		s.disk.errs.Add(1)
+		return
+	}
+	s.disk.Store(key, payload)
+}
+
+// DiskTierStats is the /healthz snapshot of the disk tier.
+type DiskTierStats struct {
+	Dir    string `json:"dir"`
+	Files  int    `json:"files"`
+	Bytes  int64  `json:"bytes"`
+	Hits   int64  `json:"hits"`
+	Misses int64  `json:"misses"`
+	Stores int64  `json:"stores"`
+	Errors int64  `json:"errors,omitempty"`
+}
+
+// Stats scans the directory for current occupancy and reports the
+// lifetime counters.
+func (d *DiskTier) Stats() DiskTierStats {
+	st := DiskTierStats{
+		Dir:    d.dir,
+		Hits:   d.hits.Load(),
+		Misses: d.misses.Load(),
+		Stores: d.stores.Load(),
+		Errors: d.errs.Load(),
+	}
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return st
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".dbsa" {
+			continue
+		}
+		if info, err := ent.Info(); err == nil {
+			st.Files++
+			st.Bytes += info.Size()
+		}
+	}
+	return st
+}

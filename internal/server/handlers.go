@@ -68,29 +68,47 @@ func (s *Server) compute(route string, fn computeHandler) http.HandlerFunc {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Deadline)
 		defer cancel()
 		ctx = trace.NewContext(ctx, tr)
+		tenant := r.Header.Get(TenantHeader)
+		if tenant == "" {
+			tenant = DefaultTenant
+		}
 		defer func() {
 			s.observe(route, start)
-			s.finishRequest(tr, route, sw, start)
+			s.finishRequest(tr, route, tenant, sw, start)
 		}()
 
 		tr.Begin("admission/wait")
-		release, err := s.adm.Enter(ctx)
+		admStart := time.Now()
+		release, queuedWait, err := s.adm.EnterTenant(ctx, tenant)
+		if queuedWait {
+			// Only real queue waits feed the histograms: a fast-path
+			// admit says nothing about how long a shed client should
+			// stand back.
+			s.observeQueueWait(tenant, time.Since(admStart))
+		}
 		tr.End("admission/wait", 0)
 		if err != nil {
 			s.syncShedCounters()
 			switch {
 			case errors.Is(err, ErrDraining):
-				sw.Header().Set("Retry-After", "5")
+				sw.Header().Set("Retry-After", s.retryAfterHint(0.99, 5))
 				s.fail(sw, http.StatusServiceUnavailable, "draining")
 			case errors.Is(err, ErrQueueExpired):
 				// The deadline passed while queued: the server is too
 				// slow for this client right now, not just momentarily
-				// full — tell it (and load balancers) to back off.
-				sw.Header().Set("Retry-After", s.retryAfterHint())
+				// full — tell it (and load balancers) to back off by
+				// the observed tail wait.
+				sw.Header().Set("Retry-After", s.retryAfterHint(0.99, int64(s.cfg.Deadline/(2*time.Second))))
 				s.fail(sw, http.StatusServiceUnavailable, "overloaded: deadline expired while queued")
-			case errors.Is(err, ErrSaturated):
-				sw.Header().Set("Retry-After", "1")
-				s.fail(sw, http.StatusTooManyRequests, "saturated: %d in flight, queue full", s.adm.InFlight())
+			case errors.Is(err, ErrSaturated), errors.Is(err, ErrPreempted):
+				// Shed by policy (queue full or preempted by a higher-
+				// priority tenant): try the degrade ladder before
+				// answering 429 with the observed median wait.
+				if s.cfg.DegradeOK && route == "/v1/sample" && s.tryDegradeSample(ctx, sw, r) {
+					return
+				}
+				sw.Header().Set("Retry-After", s.retryAfterHint(0.50, 1))
+				s.fail(sw, http.StatusTooManyRequests, "%v", err)
 			default:
 				s.fail(sw, http.StatusInternalServerError, "%v", err)
 			}
@@ -123,7 +141,7 @@ func (s *Server) pipelineFail(w http.ResponseWriter, err error) {
 		return
 	}
 	if isTransient(err) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterHint(0.50, 1))
 		s.fail(w, http.StatusServiceUnavailable, "transient failure: %v", err)
 		return
 	}
@@ -170,7 +188,12 @@ type healthResponse struct {
 	Shed          int64                     `json:"shed"`
 	ShedQueueFull int64                     `json:"shed_queue_full"`
 	ShedExpired   int64                     `json:"shed_expired"`
+	ShedPreempted int64                     `json:"shed_preempted,omitempty"`
+	Degraded      int64                     `json:"degraded,omitempty"`
 	Cache         CacheStats                `json:"cache"`
+	Disk          *DiskTierStats            `json:"disk,omitempty"`
+	Tenants       []TenantStats             `json:"tenants,omitempty"`
+	QueueWait     *LatencySummary           `json:"queue_wait,omitempty"`
 	Latency       map[string]LatencySummary `json:"latency,omitempty"`
 	// ShardLatency is the coordinator's downstream fan-out wait per
 	// phase (partials, draw) — separate from Latency, whose route
@@ -189,9 +212,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Shed:          s.adm.Shed(),
 		ShedQueueFull: s.adm.ShedQueueFull(),
 		ShedExpired:   s.adm.ShedExpired(),
+		ShedPreempted: s.adm.ShedPreempted(),
+		Degraded:      s.rec.Counter(CtrDegraded).Value(),
 		Cache:         s.cache.Stats(),
+		Tenants:       s.adm.TenantStats(),
 		Latency:       s.latencySummaries(),
 		ShardLatency:  s.shardLatencySummaries(),
+	}
+	if s.disk != nil {
+		st := s.disk.Stats()
+		resp.Disk = &st
+	}
+	if h := s.rec.Histogram(HistQueueSeconds); h.Count() > 0 {
+		resp.QueueWait = &LatencySummary{
+			Count: int(h.Count()),
+			P50ms: h.Quantile(0.50) * 1e3,
+			P99ms: h.Quantile(0.99) * 1e3,
+		}
 	}
 	code := http.StatusOK
 	if s.adm.Draining() {
@@ -477,12 +514,31 @@ func (s *Server) estimatorAt(ctx context.Context, rec *obs.Recorder, h *Handle, 
 	}
 	tr := trace.FromContext(ctx)
 	t0 := tr.Now()
-	v, out, err := s.cache.GetOrBuild(p.key(fp), func() (any, int64, error) {
-		if s.exactAt(h, g) {
-			return s.buildEstimator(ctx, rec, h, p, g)
+	key := p.key(fp)
+	// fromDisk is written only by the singleflight winner's closure,
+	// which runs on this goroutine; joiners report a plain memory hit.
+	fromDisk := false
+	v, out, err := s.cache.GetOrBuild(key, func() (any, int64, error) {
+		if est, ok := s.diskEstimator(key); ok {
+			fromDisk = true
+			return est, estimatorBytes(est.(*kde.Estimator)), nil
 		}
-		return s.extendEstimator(ctx, rec, h, p, g)
+		var built any
+		var size int64
+		var berr error
+		if s.exactAt(h, g) {
+			built, size, berr = s.buildEstimator(ctx, rec, h, p, g)
+		} else {
+			built, size, berr = s.extendEstimator(ctx, rec, h, p, g)
+		}
+		if berr == nil {
+			s.diskStore(key, built)
+		}
+		return built, size, berr
 	})
+	if out == OutcomeMiss && fromDisk && err == nil {
+		out = OutcomeDisk
+	}
 	s.syncCacheCounters()
 	// The cache event spans the whole lookup (including a singleflight
 	// wait or the build itself) and notes the outcome: a hit's trace
@@ -661,19 +717,36 @@ func (s *Server) sampleAt(ctx context.Context, rec *obs.Recorder, h *Handle, q s
 	}
 	tr := trace.FromContext(ctx)
 	t0 := tr.Now()
-	v, out, err := s.cache.GetOrBuild(q.key(fp, p), func() (any, int64, error) {
+	key := q.key(fp, p)
+	fromDisk := false
+	v, out, err := s.cache.GetOrBuild(key, func() (any, int64, error) {
+		if art, ok := s.diskSample(key); ok {
+			fromDisk = true
+			return art, sampleBytes(art.(*sampleArtifact).s), nil
+		}
 		// Sharded builds reuse the single-node cache key: the scatter-
 		// gather result is bit-identical to the local build, so hit/miss
 		// and shard mode compose freely. OnePass stays local (its single
 		// pass has no exact normalizer to merge against).
-		if s.coord != nil && !q.OnePass {
-			return s.buildSampleSharded(ctx, rec, h, q, p, g)
+		var built any
+		var size int64
+		var berr error
+		switch {
+		case s.coord != nil && !q.OnePass:
+			built, size, berr = s.buildSampleSharded(ctx, rec, h, q, p, g)
+		case q.OnePass || s.exactAt(h, g):
+			built, size, berr = s.buildSample(ctx, rec, h, q, p, g)
+		default:
+			built, size, berr = s.extendSample(ctx, rec, h, q, p, g)
 		}
-		if q.OnePass || s.exactAt(h, g) {
-			return s.buildSample(ctx, rec, h, q, p, g)
+		if berr == nil {
+			s.diskStore(key, built)
 		}
-		return s.extendSample(ctx, rec, h, q, p, g)
+		return built, size, berr
 	})
+	if out == OutcomeMiss && fromDisk && err == nil {
+		out = OutcomeDisk
+	}
 	s.syncCacheCounters()
 	if tr != nil {
 		tr.Add("cache/sample", t0, tr.Now(), 0, fmt.Sprintf("%s gen=%d", out, g))
@@ -811,25 +884,101 @@ func (s *Server) handleSample(ctx context.Context, rec *obs.Recorder, w http.Res
 
 	sm, out, err := s.drawSample(ctx, rec, h, req, p)
 	if err != nil {
+		// Second rung of the degrade ladder: a transient pipeline
+		// failure (injected fault, flaky scan) on a request whose a=0
+		// artifact is resident answers degraded instead of 503 — the
+		// cached rung needs no dataset pass, so serving it cannot
+		// retrigger the fault that broke the build.
+		if s.cfg.DegradeOK && isTransient(err) && s.degradeSample(w, req, p, h) {
+			return
+		}
 		s.pipelineFail(w, err)
 		return
 	}
 	fp, _ := h.Fingerprint()
+	markCache(w, out)
+	writeSampleResponse(w, req.Dataset, req.Alpha, fp, sm)
+}
+
+// writeSampleResponse writes the /v1/sample success body: a pure
+// function of (dataset name, alpha, fingerprint, sample), shared by the
+// full pipeline and the degrade ladder so a degraded response is
+// byte-identical to an ordinary a=0 response.
+func writeSampleResponse(w http.ResponseWriter, name string, alpha float64, fp uint64, sm *core.Sample) {
 	pts := make([]samplePoint, len(sm.Points))
 	for i, wp := range sm.Points {
 		pts[i] = samplePoint{P: wp.P, W: wp.W}
 	}
-	markCache(w, out)
 	writeJSON(w, http.StatusOK, sampleResponse{
-		Dataset:     req.Dataset,
+		Dataset:     name,
 		Fingerprint: fmt.Sprintf("%016x", fp),
-		Alpha:       req.Alpha,
+		Alpha:       alpha,
 		Norm:        sm.Norm,
 		DataPasses:  sm.DataPasses,
 		Saturated:   sm.Saturated,
 		Count:       len(pts),
 		Points:      pts,
 	})
+}
+
+// tryDegradeSample is the overload degrade ladder: a /v1/sample shed by
+// admission is answered from the cached a=0 artifact for the same
+// (dataset, size, kernels, kernel, seed, one_pass) when one is resident
+// in memory or on disk. Jang & Jiang's DBSCAN++ subsampling is exactly
+// the a=0 special case of the paper's scheme, so the degraded answer is
+// a coarser-but-sound sample, not a different kind of result. The
+// response carries DegradedHeader (when the request wanted a ≠ 0) and
+// is byte-identical to what an ordinary a=0 request returns — the
+// degrade ladder changes availability, never bytes.
+//
+// It reports whether a degraded response was served; on false the
+// caller falls through to the 429. Only cached artifacts qualify: the
+// peek path runs no build, no dataset pass, and needs no admission
+// slot, so serving it cannot deepen the overload being shed.
+func (s *Server) tryDegradeSample(ctx context.Context, w http.ResponseWriter, r *http.Request) bool {
+	var req sampleRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return false
+	}
+	p, err := req.normalize()
+	if err != nil {
+		return false
+	}
+	h, err := s.acquireTraced(ctx, req.Dataset)
+	if err != nil {
+		return false
+	}
+	defer h.Release()
+	return s.degradeSample(w, req, p, h)
+}
+
+// degradeSample serves the cached a=0 rung for req's identity through an
+// already-held dataset handle; it reports false (nothing written) when
+// no rung is resident in memory or on disk.
+func (s *Server) degradeSample(w http.ResponseWriter, req sampleRequest, p estParams, h *Handle) bool {
+	fp, err := h.FingerprintAt(h.Generation())
+	if err != nil {
+		return false
+	}
+	a0 := req
+	a0.Alpha = 0
+	key := a0.key(fp, p)
+	out := OutcomeHit
+	v, ok := s.cache.Peek(key)
+	if !ok {
+		if v, ok = s.diskSample(key); !ok {
+			return false
+		}
+		out = OutcomeDisk
+	}
+	art := v.(*sampleArtifact)
+	s.rec.Counter(CtrDegraded).Inc()
+	if req.Alpha != 0 {
+		w.Header().Set(DegradedHeader, "a0")
+	}
+	markCache(w, out)
+	writeSampleResponse(w, req.Dataset, 0, fp, art.s)
+	return true
 }
 
 // acquireTraced is reg.Acquire with the lookup recorded as a trace

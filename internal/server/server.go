@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -19,16 +20,19 @@ import (
 // Server-level counter and gauge names, joining the catalogue in
 // internal/obs. Exposed at /metrics in Prometheus text format.
 const (
-	CtrRequests    = "server_requests_total"
-	CtrErrors      = "server_request_errors_total"
-	CtrShed        = "server_requests_shed_total"
-	CtrShedFull    = "server_requests_shed_queue_full_total"
-	CtrShedExpired = "server_requests_shed_expired_total"
-	CtrCacheHit    = "server_cache_hits_total"
-	CtrCacheMiss   = "server_cache_misses_total"
-	CtrCacheEvict  = "server_cache_evictions_total"
-	CtrCacheStale  = "server_cache_stale_served_total"
-	CtrKDEBuilds   = "server_kde_builds_total"
+	CtrRequests      = "server_requests_total"
+	CtrErrors        = "server_request_errors_total"
+	CtrShed          = "server_requests_shed_total"
+	CtrShedFull      = "server_requests_shed_queue_full_total"
+	CtrShedExpired   = "server_requests_shed_expired_total"
+	CtrShedPreempted = "server_requests_shed_preempted_total"
+	CtrDegraded      = "server_requests_degraded_total"
+	CtrCacheHit      = "server_cache_hits_total"
+	CtrCacheMiss     = "server_cache_misses_total"
+	CtrCacheEvict    = "server_cache_evictions_total"
+	CtrCacheStale    = "server_cache_stale_served_total"
+	CtrCacheDisk     = "server_cache_disk_hits_total"
+	CtrKDEBuilds     = "server_kde_builds_total"
 
 	GaugeInFlight   = "server_in_flight"
 	GaugeCacheBytes = "server_cache_bytes"
@@ -49,6 +53,13 @@ const (
 	HistRequestSeconds = "server_request_seconds" // label: route
 	HistStageSeconds   = "server_stage_seconds"   // label: stage
 	HistShardSeconds   = "server_shard_seconds"   // label: stage (partials|draw)
+
+	// HistQueueSeconds is the admission queue wait, observed only for
+	// requests that actually queued (a fast-path admit contributes
+	// nothing). The unlabeled aggregate drives the derived Retry-After
+	// hints; the tenant-labeled family is the per-tenant SLO view.
+	HistQueueSeconds       = "server_queue_seconds"
+	HistTenantQueueSeconds = "server_tenant_queue_seconds" // label: tenant
 )
 
 // TraceHeader is the response header carrying the request's trace ID.
@@ -56,6 +67,19 @@ const (
 // shed (429/503/504) alike — so a client error report can always be
 // joined against the access log and /debug/traces.
 const TraceHeader = "X-DBS-Trace"
+
+// TenantHeader names the request's tenant for admission accounting
+// (API-key style). Absent or empty means DefaultTenant, so untagged
+// clients share one default bucket and a single-tenant deployment is
+// unchanged.
+const TenantHeader = "X-DBS-Tenant"
+
+// DegradedHeader marks a response served by the degrade ladder instead
+// of the full pipeline: under overload, a shed /v1/sample request may
+// be answered from the cached a=0 artifact (uniform sampling — the
+// DBSCAN++ special case of the paper's scheme) rather than a 429. The
+// value names the rung ("a0").
+const DegradedHeader = "X-DBS-Degraded"
 
 // Config sizes the serving layer. The zero value is usable: all-CPU
 // parallelism, a 256 MiB artifact cache, in-flight admission matched to
@@ -140,6 +164,26 @@ type Config struct {
 	// wait, and the per-stage latency breakdown.
 	AccessLog io.Writer
 
+	// Tenants maps tenant names (the TenantHeader value) to admission
+	// policies: WFQ weight, per-tenant in-flight/queue quotas, and shed
+	// priority. The "*" entry covers tenants not named explicitly. Nil
+	// means every tenant gets the default weight-1 normal-priority
+	// policy — pure fair sharing bounded by the global limits.
+	Tenants map[string]TenantPolicy
+	// DegradeOK turns the shed-degrade ladder on: a /v1/sample request
+	// rejected by admission (saturated or preempted) is answered from
+	// the cached a=0 artifact for the same (dataset, size, seed) when
+	// one exists — response 200 with DegradedHeader — instead of a 429.
+	DegradeOK bool
+	// DiskDir, when set, enables the disk artifact tier: estimator and
+	// sample artifacts are persisted there (content-keyed DBSA1 files)
+	// and reloaded on cache miss, so the cache survives restarts and a
+	// shared directory prewarms replicas.
+	DiskDir string
+	// DiskBytes bounds the disk tier (default 4 GiB; ≤ 0 with DiskDir
+	// set means unbounded).
+	DiskBytes int64
+
 	// ShardWorkers > 0 turns sharded sample builds on with that many
 	// in-process shard workers (goroutine-backed, all sharing this
 	// server's registry and cache). Sharded builds run the exact
@@ -208,6 +252,9 @@ func (c Config) withDefaults() Config {
 	if c.ShardReplicas == 0 {
 		c.ShardReplicas = 2
 	}
+	if c.DiskDir != "" && c.DiskBytes == 0 {
+		c.DiskBytes = 4 << 30
+	}
 	return c
 }
 
@@ -218,6 +265,7 @@ type Server struct {
 	reg   *Registry
 	cache *Cache
 	adm   *Admission
+	disk  *DiskTier // nil unless Config.DiskDir is set
 	rec   *obs.Recorder
 	mux   *http.ServeMux
 
@@ -257,7 +305,7 @@ func New(cfg Config) *Server {
 		cfg:          cfg,
 		reg:          NewRegistry(cfg.Parallelism),
 		cache:        NewCache(cfg.CacheBytes, staleBytes),
-		adm:          NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		adm:          NewTenantAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.Tenants),
 		rec:          cfg.Rec,
 		mux:          http.NewServeMux(),
 		pEst:         cfg.Faults.Point("server/build/est"),
@@ -272,6 +320,13 @@ func New(cfg Config) *Server {
 	}
 	if cfg.AccessLog != nil {
 		s.accessLog = &accessLogger{w: cfg.AccessLog}
+	}
+	if cfg.DiskDir != "" {
+		// Best-effort: an unusable directory leaves the tier off rather
+		// than failing the server (dbsserve validates the flag up front).
+		if d, err := NewDiskTier(cfg.DiskDir, cfg.DiskBytes); err == nil {
+			s.disk = d
+		}
 	}
 	s.shardEx = &shardExecutor{s: s}
 	if shards := s.buildShards(); len(shards) > 0 {
@@ -404,21 +459,33 @@ func (s *Server) syncCacheCounters() {
 	setCounter(s.rec.Counter(CtrCacheMiss), st.Misses)
 	setCounter(s.rec.Counter(CtrCacheEvict), st.Evictions)
 	setCounter(s.rec.Counter(CtrCacheStale), st.StaleServed)
+	if s.disk != nil {
+		setCounter(s.rec.Counter(CtrCacheDisk), s.disk.hits.Load())
+	}
 	s.rec.Gauge(GaugeCacheBytes).Set(float64(st.Bytes))
 }
 
-// syncShedCounters mirrors the admission controller's shed tallies,
-// total plus the queue-full / deadline-expired split.
+// syncShedCounters mirrors the admission controller's shed tallies:
+// total plus the queue-full / deadline-expired / preempted split.
 func (s *Server) syncShedCounters() {
 	setCounter(s.rec.Counter(CtrShed), s.adm.Shed())
 	setCounter(s.rec.Counter(CtrShedFull), s.adm.ShedQueueFull())
 	setCounter(s.rec.Counter(CtrShedExpired), s.adm.ShedExpired())
+	setCounter(s.rec.Counter(CtrShedPreempted), s.adm.ShedPreempted())
 }
 
-// retryAfterHint suggests a client back-off for 503 responses: half the
-// request deadline, clamped to [1s, 30s], in whole seconds.
-func (s *Server) retryAfterHint() string {
-	secs := int64(s.cfg.Deadline / (2 * time.Second))
+// retryAfterHint derives a client back-off from the observed queue-wait
+// distribution: the q-quantile of HistQueueSeconds, rounded up to whole
+// seconds and clamped to [1s, 30s]. Until the histogram has samples the
+// fallback applies (same clamp). 429s use the median — the queue is
+// moving and a typical wait from now should find a slot; 503s use p99 —
+// this client's deadline already lost to the tail, so it should stand
+// back accordingly.
+func (s *Server) retryAfterHint(q float64, fallbackSecs int64) string {
+	secs := fallbackSecs
+	if h := s.rec.Histogram(HistQueueSeconds); h.Count() > 0 {
+		secs = int64(math.Ceil(h.Quantile(q)))
+	}
 	if secs < 1 {
 		secs = 1
 	}
@@ -426,6 +493,14 @@ func (s *Server) retryAfterHint() string {
 		secs = 30
 	}
 	return strconv.FormatInt(secs, 10)
+}
+
+// observeQueueWait records a queued request's slot wait into the
+// aggregate (hint-driving) and per-tenant histogram families.
+func (s *Server) observeQueueWait(tenant string, wait time.Duration) {
+	secs := wait.Seconds()
+	s.rec.Histogram(HistQueueSeconds).Observe(secs)
+	s.rec.Histogram(HistTenantQueueSeconds, obs.Label{Key: "tenant", Value: tenant}).Observe(secs)
 }
 
 // setCounter raises c to total (counters are monotonic; the cache is the

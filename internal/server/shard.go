@@ -220,7 +220,7 @@ func (s *Server) shardRPC(route string, fn func(ctx context.Context, r *http.Req
 		ctx = trace.NewContext(ctx, tr)
 		defer func() {
 			s.observe(route, start)
-			s.finishRequest(tr, route, sw, start)
+			s.finishRequest(tr, route, r.Header.Get(TenantHeader), sw, start)
 		}()
 		resp, err := fn(ctx, r)
 		if err != nil {

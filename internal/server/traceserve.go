@@ -48,7 +48,7 @@ func (w *statusWriter) status() int {
 // access-log line is emitted. tr may be nil (tracing disabled) — the
 // access logger then logs without a stage breakdown, though the usual
 // wiring enables collection whenever an access log is configured.
-func (s *Server) finishRequest(tr *trace.Trace, route string, sw *statusWriter, start time.Time) {
+func (s *Server) finishRequest(tr *trace.Trace, route, tenant string, sw *statusWriter, start time.Time) {
 	dur := time.Since(start)
 	cache := sw.Header().Get("X-DBS-Cache")
 	var snap trace.Snapshot
@@ -64,17 +64,22 @@ func (s *Server) finishRequest(tr *trace.Trace, route string, sw *statusWriter, 
 	}
 	if s.accessLog != nil {
 		queueMs, stages := stageBreakdown(snap)
+		if tenant == DefaultTenant {
+			tenant = "" // omitted from the line; the default bucket is implied
+		}
 		s.accessLog.log(accessRecord{
-			Time:    time.Now().UTC().Format(time.RFC3339Nano),
-			TraceID: sw.Header().Get(TraceHeader),
-			Route:   route,
-			Status:  sw.status(),
-			DurMs:   float64(dur) / float64(time.Millisecond),
-			QueueMs: queueMs,
-			Cache:   cache,
-			Bytes:   sw.bytes,
-			Slow:    snap.Slow,
-			Stages:  stages,
+			Time:     time.Now().UTC().Format(time.RFC3339Nano),
+			TraceID:  sw.Header().Get(TraceHeader),
+			Route:    route,
+			Tenant:   tenant,
+			Status:   sw.status(),
+			DurMs:    float64(dur) / float64(time.Millisecond),
+			QueueMs:  queueMs,
+			Cache:    cache,
+			Degraded: sw.Header().Get(DegradedHeader) != "",
+			Bytes:    sw.bytes,
+			Slow:     snap.Slow,
+			Stages:   stages,
 		})
 	}
 }

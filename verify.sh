@@ -13,7 +13,7 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/... ./internal/faults/... ./internal/server/... ./internal/dataset/... ./internal/trace/... ./internal/shard/...
+go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/... ./internal/faults/... ./internal/server/... ./internal/dataset/... ./internal/trace/... ./internal/shard/... ./internal/loadgen/...
 # Chaos smoke: the seeded fault-injection suite in short mode (12 seeds) —
 # goroutine leaks, admission slot leaks, cache accounting drift, and any
 # fault-corrupted response fail this line fast; the full 60-seed sweep
@@ -29,6 +29,17 @@ go test -race -run 'Chaos|Append' -short ./internal/server/
 # partial faults: exact bytes via replica fallback or a loud 503, never
 # a silently wrong merge) under the race detector.
 go test -race -run 'Chaos|Shard' -short ./internal/server/
+# Multi-tenant admission smoke: the weighted-fair queue (starvation,
+# weighted share, per-tenant caps, priority preemption), the degrade
+# ladder, the disk artifact tier's restart survival, the Retry-After
+# hint regression, and access-log line atomicity — all under the race
+# detector.
+go test -race -run 'WFQ|Tenant|Degraded|DiskTier|RetryAfter|AccessLog' ./internal/server/
+# Sustained-load smoke: the three-tenant WFQ/degrade/chaos proof in
+# quick mode. Fails loudly if any tenant sees a non-shed failure (a 5xx
+# surprise or transport error); the committed BENCH_load.json holds the
+# full-size numbers.
+go run ./cmd/dbsload -quick > /dev/null
 OBS_GUARD=1 go test -run TestObsOverheadGuard .
 # Tracing-overhead guard: a request trace forwarding every span must stay
 # within the same budget over the untraced draw (TRACE_GUARD gates the
