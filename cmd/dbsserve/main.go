@@ -63,8 +63,13 @@ func main() {
 		shardOf    = flag.String("shard-of", "", "serve as the named shard worker: only shard RPCs addressed to this name are accepted (empty = not pinned)")
 		replicas   = flag.Int("replicas", 0, "replicas per block in sharded mode; failed shard RPCs fall back across them (0 = 2, capped at shard count)")
 		hedgeMs    = flag.Int("hedge-ms", 0, "sharded mode latency budget: a shard RPC still pending after this many milliseconds is hedged to the next replica, first success wins (0 disables)")
+		window     = flag.String("window", "", "sliding window for stream datasets (/v1/streams/{name}/append): an integer point count or a duration like 30s; queries cover only the window's rows (empty = unwindowed)")
 	)
 	flag.Parse()
+	windowPts, windowDur, err := parseWindow(*window)
+	if err != nil {
+		fatal("%v", err)
+	}
 
 	precision, err := parsePrecision(*prec)
 	if err != nil {
@@ -122,6 +127,8 @@ func main() {
 		ShardReplicas: *replicas,
 		ShardHedge:    time.Duration(*hedgeMs) * time.Millisecond,
 		ShardOf:       *shardOf,
+		WindowPoints:  windowPts,
+		WindowDur:     windowDur,
 	})
 
 	for _, arg := range flag.Args() {
@@ -183,6 +190,26 @@ func parseShards(s string) (workers int, peers map[string]string, err error) {
 		peers[name] = url
 	}
 	return 0, peers, nil
+}
+
+func parseWindow(s string) (points int, dur time.Duration, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	if n, perr := strconv.Atoi(s); perr == nil {
+		if n < 1 {
+			return 0, 0, fmt.Errorf("-window %d: want a positive point count", n)
+		}
+		return n, 0, nil
+	}
+	d, derr := time.ParseDuration(s)
+	if derr != nil {
+		return 0, 0, fmt.Errorf("-window %q: want a point count or a duration like 30s", s)
+	}
+	if d <= 0 {
+		return 0, 0, fmt.Errorf("-window %v: want a positive duration", d)
+	}
+	return 0, d, nil
 }
 
 func parsePrecision(s string) (core.Precision, error) {

@@ -169,6 +169,9 @@ func ExtendDraw(ds dataset.Dataset, est DensityEstimator, opts ExtendOptions, rn
 		return nil, zero, errors.New("core: estimator has no centers")
 	}
 	s := (float64(n) / float64(prior.N)) * (float64(prior.Kernels) / float64(ks))
+	if nr, ok := est.(NormRescaler); ok {
+		s = nr.NormRescale(prior.N, prior.Kernels)
+	}
 	kbase := prior.K * biasedScale(s, opts.Alpha)
 	kNew := kbase + d
 	if kNew <= 0 || math.IsInf(kNew, 0) || math.IsNaN(kNew) {
@@ -187,9 +190,16 @@ func ExtendDraw(ds dataset.Dataset, est DensityEstimator, opts ExtendOptions, rn
 	tspan := rec.StartSpan("extend_draw/thin")
 	thin := &streams[0]
 	kept := make([]dataset.WeightedPoint, 0, len(opts.Prior.Points))
-	for _, wp := range opts.Prior.Points {
+	var keptIdx []int64
+	if opts.Prior.Indices != nil {
+		keptIdx = make([]int64, 0, len(opts.Prior.Indices))
+	}
+	for i, wp := range opts.Prior.Points {
 		if thin.Bernoulli(r) {
 			kept = append(kept, dataset.WeightedPoint{P: wp.P, W: wp.W / r})
+			if keptIdx != nil {
+				keptIdx = append(keptIdx, opts.Prior.Indices[i])
+			}
 		}
 	}
 	cCoins.Add(int64(len(opts.Prior.Points)))
@@ -198,6 +208,7 @@ func ExtendDraw(ds dataset.Dataset, est DensityEstimator, opts ExtendOptions, rn
 	// Pass 2 over the delta: the usual inclusion coin against k_a'.
 	type blockSample struct {
 		points    []dataset.WeightedPoint
+		indices   []int64
 		saturated int
 	}
 	perBlock := make([]blockSample, numBlocks)
@@ -240,7 +251,10 @@ func ExtendDraw(ds dataset.Dataset, est DensityEstimator, opts ExtendOptions, rn
 				count++
 			}
 		}
-		perBlock[block] = blockSample{points: fillBlockSample(arena, pts, sc, count), saturated: sat}
+		// Block starts are window-relative; the global dataset index of a
+		// delta selection is DeltaStart + start + in-block offset.
+		wps, idxs := fillBlockSample(arena, pts, sc, count, opts.DeltaStart+start)
+		perBlock[block] = blockSample{points: wps, indices: idxs, saturated: sat}
 		cCoins.Add(int64(len(pts)))
 		cSat.Add(int64(sat))
 		return nil
@@ -258,8 +272,15 @@ func ExtendDraw(ds dataset.Dataset, est DensityEstimator, opts ExtendOptions, rn
 	}
 	out.Points = make([]dataset.WeightedPoint, 0, total)
 	out.Points = append(out.Points, kept...)
+	if keptIdx != nil {
+		out.Indices = make([]int64, 0, total)
+		out.Indices = append(out.Indices, keptIdx...)
+	}
 	for i := range perBlock {
 		out.Points = append(out.Points, perBlock[i].points...)
+		if out.Indices != nil {
+			out.Indices = append(out.Indices, perBlock[i].indices...)
+		}
 		out.Saturated += perBlock[i].saturated
 	}
 	span.AddPoints(int64(m))
@@ -307,7 +328,12 @@ func RebuildSchedule(counts []int, tol float64) []bool {
 	exact[0] = true
 	drift := 0.0
 	for g := 1; g < len(counts); g++ {
-		step := float64(counts[g]-counts[g-1]) / float64(counts[g])
+		// |delta|, not delta: under window eviction a generation can
+		// shrink, and a signed step would go negative — *reducing*
+		// accumulated drift and postponing the exact rebuild indefinitely.
+		// A shrink perturbs the approximation just like a growth of the
+		// same magnitude, so both charge the budget.
+		step := math.Abs(float64(counts[g]-counts[g-1])) / float64(counts[g])
 		if tol <= 0 || drift+step > tol {
 			exact[g] = true
 			drift = 0

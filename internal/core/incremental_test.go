@@ -260,6 +260,24 @@ func TestRebuildSchedule(t *testing.T) {
 			0.05,
 			[]bool{true, true, false},
 		},
+		// Shrinks (window eviction) charge the budget like growths of the
+		// same magnitude: |delta|/counts[g]. The regression: a signed step
+		// would go negative on each shrink, cancel the growth steps, and
+		// postpone the exact rebuild indefinitely.
+		{
+			"shrinks charge the budget",
+			[]int{1000, 1020, 990, 1010, 980, 1000, 1020},
+			0.05,
+			[]bool{true, false, false, true, false, true, false},
+		},
+		// A large eviction alone must force a rebuild even though the
+		// dataset got smaller.
+		{
+			"big shrink forces rebuild",
+			[]int{1000, 400, 404},
+			0.05,
+			[]bool{true, true, false},
+		},
 	}
 	for _, c := range cases {
 		got := RebuildSchedule(c.counts, c.tol)

@@ -212,9 +212,12 @@ func DrawBlocks(ds dataset.Dataset, est DensityEstimator, opts Options, norm flo
 		}
 		brng := stats.StreamAt(base, blocks[j])
 		count, sat := flipCoins(sc.dens, b, norm, &brng, sc)
+		// Indices are dropped here: they never cross the shard wire, and
+		// the coordinator's merged sample carries Indices == nil.
+		wps, _ := fillBlockSample(arena, pts, sc, count, start)
 		out[j] = BlockSample{
 			Block:     blocks[j],
-			Points:    fillBlockSample(arena, pts, sc, count),
+			Points:    wps,
 			Saturated: sat,
 		}
 		cCoins.Add(int64(len(pts)))

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// rampEstimator is a fixed density field f(p) = 1 + p[0], independent of
+// any estimator state. Its NormRescale returns 1 — evicting points does
+// not change a surviving point's density — which makes the shrink identity
+// k_a' = K − D_evict exact rather than an approximation, so tests can pin
+// it to floating-point tolerance.
+type rampEstimator struct {
+	n       int
+	centers []geom.Point
+}
+
+func (r *rampEstimator) Density(p geom.Point) float64                 { return 1 + p[0] }
+func (r *rampEstimator) Centers() []geom.Point                        { return r.centers }
+func (r *rampEstimator) N() int                                       { return r.n }
+func (r *rampEstimator) NormRescale(priorN, priorKernels int) float64 { return 1 }
+
+func rampFixture(t *testing.T, n int, seed uint64) (*dataset.InMemory, *rampEstimator) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64(), rng.Float64()}
+	}
+	ds := dataset.MustInMemory(pts)
+	return ds, &rampEstimator{n: n, centers: pts[:8]}
+}
+
+// TestDrawFillsIndices pins the new Sample.Indices contract: parallel to
+// Points, strictly increasing (samples are in dataset index order), each
+// index naming exactly the dataset row the sampled point was copied from —
+// at both serial and parallel settings, identically.
+func TestDrawFillsIndices(t *testing.T) {
+	ds, est := rampFixture(t, 5000, 3)
+	pts := ds.Points()
+	for _, par := range []int{1, 8} {
+		s, err := Draw(ds, est, Options{Alpha: 1, TargetSize: 400, Parallelism: par}, stats.NewRNG(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Indices == nil || len(s.Indices) != len(s.Points) {
+			t.Fatalf("par=%d: indices len %d, points len %d", par, len(s.Indices), len(s.Points))
+		}
+		prev := int64(-1)
+		for i, idx := range s.Indices {
+			if idx <= prev {
+				t.Fatalf("par=%d: indices not strictly increasing at %d: %d after %d", par, i, idx, prev)
+			}
+			prev = idx
+			if !s.Points[i].P.Equal(pts[idx]) {
+				t.Fatalf("par=%d: sample point %d does not match dataset row %d", par, i, idx)
+			}
+		}
+	}
+}
+
+// TestExtendDrawFillsIndices: the incremental path carries indices too —
+// kept prior points keep theirs, delta selections get DeltaStart-offset
+// ones, and the concatenation stays strictly increasing. A prior without
+// indices propagates nil.
+func TestExtendDrawFillsIndices(t *testing.T) {
+	fx := newIncrementalFixture(t, 3000, 300, 100, 200, 1.0, 53)
+	if fx.prior.Indices == nil {
+		t.Fatal("fixture prior has no indices")
+	}
+	s, _ := fx.extend(t, 1.0, 200, 1, 17)
+	if s.Indices == nil || len(s.Indices) != len(s.Points) {
+		t.Fatalf("indices len %d, points len %d", len(s.Indices), len(s.Points))
+	}
+	full, err := dataset.Collect(fx.full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := full.Points()
+	prev := int64(-1)
+	for i, idx := range s.Indices {
+		if idx <= prev {
+			t.Fatalf("indices not strictly increasing at %d: %d after %d", i, idx, prev)
+		}
+		prev = idx
+		if !s.Points[i].P.Equal(pts[idx]) {
+			t.Fatalf("sample point %d does not match dataset row %d", i, idx)
+		}
+	}
+
+	// Nil propagation: strip the prior's indices and re-extend.
+	stripped := *fx.prior
+	stripped.Indices = nil
+	s2, _, err := ExtendDraw(fx.full, fx.ext, ExtendOptions{
+		Options:    Options{Alpha: 1, TargetSize: 200},
+		DeltaStart: fx.n,
+		Prior:      &stripped,
+		PriorNorm:  fx.priorNS,
+	}, stats.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Indices != nil {
+		t.Error("extend over an index-less prior produced indices (provenance unknown)")
+	}
+}
+
+// TestShrinkDrawExactInverse pins the eviction math against an estimator
+// whose NormRescale is exactly 1: k_a' must equal K − D_evict, and that in
+// turn must equal the exact normalizer computed from scratch over the
+// surviving window (float tolerance only — summation order differs).
+func TestShrinkDrawExactInverse(t *testing.T) {
+	const n, m, b = 4000, 1200, 300
+	ds, est := rampFixture(t, n, 5)
+	prior, err := Draw(ds, est, Options{Alpha: 1, TargetSize: b}, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	priorNS := NormState{K: prior.Norm, N: n, Kernels: len(est.Centers())}
+
+	evicted, err := dataset.Window(ds, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, ns, err := ShrinkDraw(evicted, est, ShrinkOptions{
+		Options:    Options{Alpha: 1},
+		EvictCount: m,
+		Prior:      prior,
+		PriorNorm:  priorNS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	window, err := dataset.Window(ds, m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExactNorm(window, est, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(ns.K-want) / want; rel > 1e-12 {
+		t.Errorf("shrunk k_a = %v, exact window norm = %v (rel %v)", ns.K, want, rel)
+	}
+	if ns.N != n-m {
+		t.Errorf("shrunk N = %d, want %d", ns.N, n-m)
+	}
+	if wantDrift := float64(m) / float64(n-m); math.Abs(ns.Drift-wantDrift) > 1e-15 {
+		t.Errorf("shrink drift = %v, want %v", ns.Drift, wantDrift)
+	}
+
+	// Survivors: exactly the prior points with index ≥ m, weights
+	// unchanged, indices shifted to window coordinates.
+	wantSurv := 0
+	for _, idx := range prior.Indices {
+		if idx >= int64(m) {
+			wantSurv++
+		}
+	}
+	if len(shrunk.Points) != wantSurv {
+		t.Fatalf("shrunk sample has %d points, want %d survivors", len(shrunk.Points), wantSurv)
+	}
+	pts := ds.Points()
+	j := 0
+	for i, idx := range prior.Indices {
+		if idx < int64(m) {
+			continue
+		}
+		if !shrunk.Points[j].P.Equal(prior.Points[i].P) || shrunk.Points[j].W != prior.Points[i].W {
+			t.Fatalf("survivor %d diverged from prior point %d", j, i)
+		}
+		if got := shrunk.Indices[j]; got != idx-int64(m) {
+			t.Fatalf("survivor %d index = %d, want %d (window-relative)", j, got, idx-int64(m))
+		}
+		if !shrunk.Points[j].P.Equal(pts[m+int(shrunk.Indices[j])]) {
+			t.Fatalf("survivor %d index does not resolve to its dataset row", j)
+		}
+		j++
+	}
+	if shrunk.DataPasses != 1 {
+		t.Errorf("shrink DataPasses = %d, want 1 (the eviction pass)", shrunk.DataPasses)
+	}
+}
+
+// TestShrinkDrawDeterministicNoRNG: a shrink consumes no randomness, so
+// two shrinks of the same inputs are identical by construction — and a
+// shrink between two draws must not perturb any RNG stream (the signature
+// takes none; this pins the property stays true end to end).
+func TestShrinkDrawDeterministicNoRNG(t *testing.T) {
+	const n, m = 2000, 500
+	ds, est := rampFixture(t, n, 9)
+	prior, err := Draw(ds, est, Options{Alpha: 1, TargetSize: 200}, stats.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	priorNS := NormState{K: prior.Norm, N: n, Kernels: len(est.Centers())}
+	evicted, err := dataset.Window(ds, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ShrinkOptions{Options: Options{Alpha: 1}, EvictCount: m, Prior: prior, PriorNorm: priorNS}
+	a, nsA, err := ShrinkDraw(evicted, est, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSmp, nsB, err := ShrinkDraw(evicted, est, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nsA != nsB || len(a.Points) != len(bSmp.Points) {
+		t.Fatalf("repeated shrinks diverged: %+v vs %+v", nsA, nsB)
+	}
+	for i := range a.Points {
+		if !a.Points[i].P.Equal(bSmp.Points[i].P) || a.Points[i].W != bSmp.Points[i].W || a.Indices[i] != bSmp.Indices[i] {
+			t.Fatalf("point %d diverged between identical shrinks", i)
+		}
+	}
+}
+
+func TestShrinkDrawValidation(t *testing.T) {
+	const n, m = 1000, 200
+	ds, est := rampFixture(t, n, 13)
+	prior, err := Draw(ds, est, Options{Alpha: 1, TargetSize: 100}, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	priorNS := NormState{K: prior.Norm, N: n, Kernels: len(est.Centers())}
+	evicted, err := dataset.Window(ds, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ShrinkOptions{Options: Options{Alpha: 1}, EvictCount: m, Prior: prior, PriorNorm: priorNS}
+
+	if _, _, err := ShrinkDraw(evicted, nil, base); err == nil {
+		t.Error("nil estimator accepted")
+	}
+	bad := base
+	bad.Prior = nil
+	if _, _, err := ShrinkDraw(evicted, est, bad); err == nil {
+		t.Error("nil prior accepted")
+	}
+	bad = base
+	stripped := *prior
+	stripped.Indices = nil
+	bad.Prior = &stripped
+	if _, _, err := ShrinkDraw(evicted, est, bad); err == nil {
+		t.Error("index-less prior accepted (decoded/shard-merged samples cannot shrink)")
+	}
+	bad = base
+	bad.EvictCount = 0
+	if _, _, err := ShrinkDraw(evicted, est, bad); err == nil {
+		t.Error("zero EvictCount accepted")
+	}
+	bad = base
+	bad.EvictCount = n
+	if _, _, err := ShrinkDraw(evicted, est, bad); err == nil {
+		t.Error("full eviction accepted (no window left)")
+	}
+	bad = base
+	bad.EvictCount = m + 1
+	if _, _, err := ShrinkDraw(evicted, est, bad); err == nil {
+		t.Error("evicted view length mismatch accepted")
+	}
+	bad = base
+	bad.PriorNorm.K = 0
+	if _, _, err := ShrinkDraw(evicted, est, bad); err == nil {
+		t.Error("degenerate prior norm accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"repro/internal/geom"
@@ -50,6 +51,8 @@ var (
 	_ Sliceable    = (*SegmentFile)(nil)
 	_ Sliceable    = (*sliceWindow)(nil)
 	_ PassCounter  = (*window)(nil)
+
+	_ PinnedSliceable = (*SegmentFile)(nil)
 )
 
 // Sliceable is implemented by datasets whose current points are resident
@@ -59,6 +62,21 @@ var (
 // dataset but never mutate or shrink a previously returned slice.
 type Sliceable interface {
 	Points() []geom.Point
+}
+
+// PinnedSliceable is implemented by Sliceable datasets whose backing
+// storage can be released out from under a snapshot (memory-mapped files:
+// Close unmaps). PinPoints returns the current snapshot with a pin held —
+// the implementation defers releasing the underlying storage until every
+// pin is dropped — so a window view outlives a concurrent Close safely
+// instead of faulting on unmapped memory. A nil pts return means the
+// resident fast path is unavailable (closed, or never mapped) and no pin
+// is held. release must be safe to call more than once; callers that take
+// a pin must arrange for it to be released (Window attaches it to the
+// view's lifetime).
+type PinnedSliceable interface {
+	Sliceable
+	PinPoints() (pts []geom.Point, release func())
 }
 
 // window is a frozen read-only view of the half-open index range
@@ -73,7 +91,10 @@ type window struct {
 }
 
 // sliceWindow is a window over a Sliceable parent: it pins the parent's
-// backing slice at construction so block scans stay zero-copy.
+// backing slice at construction so block scans stay zero-copy. Over a
+// PinnedSliceable parent it additionally holds a storage pin — released
+// when the view is garbage collected — so the pinned rows stay mapped even
+// if the parent is closed while the view is live.
 type sliceWindow struct {
 	window
 	pts []geom.Point
@@ -81,6 +102,43 @@ type sliceWindow struct {
 
 // Points implements Sliceable over the pinned backing range.
 func (w *sliceWindow) Points() []geom.Point { return w.pts }
+
+// Scan iterates the pinned rows directly rather than delegating to the
+// parent: the pin guarantees the memory stays valid after the parent
+// closes, while a delegated range scan would fail with ErrClosed. The pass
+// is still charged to the parent's counter — the view adds no storage.
+func (w *sliceWindow) Scan(fn func(p geom.Point) error) error {
+	if w.pc != nil {
+		w.pc.AddPass()
+	}
+	for _, p := range w.pts {
+		if err := fn(p); err != nil {
+			if errors.Is(err, ErrStopScan) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanRange implements RangeScanner over the pinned rows; like the plain
+// window's ScanRange it does not charge a pass (block scans account their
+// own single pass at a higher level).
+func (w *sliceWindow) ScanRange(start, end int, fn func(p geom.Point) error) error {
+	if err := checkRange(start, end, len(w.pts)); err != nil {
+		return err
+	}
+	for _, p := range w.pts[start:end] {
+		if err := fn(p); err != nil {
+			if errors.Is(err, ErrStopScan) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
 
 // Window returns a read-only Dataset view of the half-open range
 // [start, end) of ds, which must implement RangeScanner. The view is
@@ -100,7 +158,20 @@ func Window(ds Dataset, start, end int) (Dataset, error) {
 	if pc, ok := ds.(PassCounter); ok {
 		w.pc = pc
 	}
-	if sl, ok := ds.(Sliceable); ok {
+	if ps, ok := ds.(PinnedSliceable); ok {
+		// Take a storage pin with the snapshot so the view stays readable
+		// even if the parent is closed underneath it; the pin is released
+		// when the view is collected.
+		if pts, release := ps.PinPoints(); len(pts) >= end {
+			sw := &sliceWindow{window: w, pts: pts[start:end]}
+			if release != nil {
+				runtime.SetFinalizer(sw, func(*sliceWindow) { release() })
+			}
+			return sw, nil
+		} else if release != nil {
+			release()
+		}
+	} else if sl, ok := ds.(Sliceable); ok {
 		// Only pin when the snapshot actually covers the range: a Sliceable
 		// whose mapping is unavailable (SegmentFile fallback) returns nil
 		// or a short slice and must keep the range-scanning view.

@@ -59,9 +59,10 @@ type SegmentFile struct {
 	mu    sync.Mutex // serializes Append
 	state atomic.Pointer[segState]
 
-	mapMu  sync.Mutex // guards maps and closed
+	mapMu  sync.Mutex // guards maps, closed, and pins
 	maps   [][]byte   // every live mapping; appends remap, Close frees all
 	closed bool
+	pins   int // outstanding PinPoints holds; Close defers munmap while > 0
 
 	fp fpMemo
 }
@@ -258,16 +259,58 @@ func (sf *SegmentFile) mapSegments(st *segState) {
 // "use the decode path".
 func (sf *SegmentFile) Points() []geom.Point { return sf.state.Load().pts }
 
-// Close unmaps every mapping the file holds and marks the dataset closed:
-// subsequent scans and appends fail with ErrClosed. Close is idempotent.
-// It must not race in-flight scans — the mapped memory they may be
-// reading is released here.
+// PinPoints implements PinnedSliceable: the current mapped snapshot with a
+// pin held against unmapping, so a window view handed out before Close
+// never reads released memory. The pin is taken atomically with the closed
+// check; a closed or unmapped file returns (nil, nil) and holds nothing.
+// release is idempotent; the last release after Close performs the
+// deferred munmap.
+func (sf *SegmentFile) PinPoints() ([]geom.Point, func()) {
+	sf.mapMu.Lock()
+	defer sf.mapMu.Unlock()
+	if sf.closed {
+		return nil, nil
+	}
+	pts := sf.state.Load().pts
+	if pts == nil {
+		return nil, nil
+	}
+	sf.pins++
+	var once sync.Once
+	return pts, func() { once.Do(sf.unpin) }
+}
+
+// unpin drops one pin; if the file was closed while pins were outstanding,
+// the last unpin releases the mappings Close deferred.
+func (sf *SegmentFile) unpin() {
+	sf.mapMu.Lock()
+	sf.pins--
+	var maps [][]byte
+	if sf.closed && sf.pins == 0 {
+		maps = sf.maps
+		sf.maps = nil
+	}
+	sf.mapMu.Unlock()
+	for _, m := range maps {
+		munmapFile(m)
+	}
+}
+
+// Close marks the dataset closed — subsequent scans and appends fail with
+// ErrClosed — and unmaps every mapping the file holds once no PinPoints
+// hold is outstanding. With pins outstanding (a live window view), the
+// mappings survive until the last release so pinned readers never touch
+// unmapped memory; everything else observes the closed state immediately.
+// Close is idempotent.
 func (sf *SegmentFile) Close() error {
 	sf.mapMu.Lock()
-	maps := sf.maps
-	sf.maps = nil
 	already := sf.closed
 	sf.closed = true
+	var maps [][]byte
+	if sf.pins == 0 {
+		maps = sf.maps
+		sf.maps = nil
+	}
 	sf.mapMu.Unlock()
 	if already {
 		return nil

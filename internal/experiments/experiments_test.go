@@ -20,6 +20,7 @@ func TestIDsRegistered(t *testing.T) {
 		"fig5a", "fig5b", "fig5c", "fig6", "fig7",
 		"scale", "outliers", "geo", "samplesize",
 		"ablation-kernel", "ablation-onepass", "ablation-alpha", "ablation-weights", "ablation-estimator", "ablation-partitions", "ext-dtree",
+		"stream",
 	}
 	ids := IDs()
 	have := map[string]bool{}
@@ -203,6 +204,23 @@ func TestExpScaleRuns(t *testing.T) {
 	}
 	if len(tb.Rows) != 4 {
 		t.Errorf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestExpStreamShape(t *testing.T) {
+	tb, err := Run("stream", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (one per method at the quick budget)", len(tb.Rows))
+	}
+	// The streaming estimators must stay competitive: every method finds
+	// most of the 10 planted clusters at a 64 KiB density budget.
+	for i := range tb.Rows {
+		if found := cell(t, tb, i, 3); found < 6 {
+			t.Errorf("%s found %v clusters, want ≥6", tb.Rows[i][0], found)
+		}
 	}
 }
 

@@ -189,3 +189,64 @@ func TestGridAsDensityEstimatorOrdering(t *testing.T) {
 		t.Error("grid density contrast too low")
 	}
 }
+
+// TestTopEdgeCellIndexing is the property test for the top boundary: a
+// point with any subset of its coordinates exactly on the domain max must
+// land in cell g-1 along those dimensions — the same cell as an interior
+// point of the top cell — never an out-of-range index that hashes to (and
+// pollutes) an unrelated bucket. Swept across dims {1,2,4} and g {1,64},
+// over randomized domains (including negative mins and uneven sides).
+func TestTopEdgeCellIndexing(t *testing.T) {
+	rng := stats.NewRNG(8011)
+	for _, d := range []int{1, 2, 4} {
+		for _, g := range []int{1, 64} {
+			for trial := 0; trial < 25; trial++ {
+				min := make(geom.Point, d)
+				max := make(geom.Point, d)
+				for j := 0; j < d; j++ {
+					min[j] = -2 + 3*rng.Float64()
+					max[j] = min[j] + 0.1 + 2*rng.Float64()
+				}
+				domain := geom.Rect{Min: min, Max: max}
+
+				// One interior anchor point in the top corner cell: the
+				// midpoint of cell g-1 along every dimension.
+				anchor := make(geom.Point, d)
+				for j := 0; j < d; j++ {
+					anchor[j] = min[j] + domain.Side(j)*(float64(g)-0.5)/float64(g)
+				}
+				ds := dataset.MustInMemory([]geom.Point{anchor})
+				gr, err := BuildGrid(ds, domain, Options{CellsPerDim: g})
+				if err != nil {
+					t.Fatal(err)
+				}
+				anchorID := gr.cellID(anchor)
+
+				// Every point with a random subset of coordinates pinned
+				// to the exact domain max (the rest in the top cell's
+				// interior) must share the anchor's cell id and count.
+				for variant := 0; variant < 8; variant++ {
+					p := anchor.Clone()
+					pinned := 0
+					for j := 0; j < d; j++ {
+						if variant == 0 || rng.Bernoulli(0.5) {
+							p[j] = max[j]
+							pinned++
+						}
+					}
+					if pinned == 0 {
+						p[0] = max[0] // always test at least one pinned coordinate
+					}
+					if got := gr.cellID(p); got != anchorID {
+						t.Fatalf("d=%d g=%d: top-edge point %v cell id %#x, want top cell %#x",
+							d, g, p, got, anchorID)
+					}
+					if got := gr.Count(p); got != 1 {
+						t.Fatalf("d=%d g=%d: top-edge point %v count %d, want the anchor's 1",
+							d, g, p, got)
+					}
+				}
+			}
+		}
+	}
+}

@@ -30,6 +30,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
 	s.mux.HandleFunc("POST /v1/datasets/{name}/append", s.compute("/v1/datasets/append", s.handleAppend))
+	s.mux.HandleFunc("POST /v1/streams/{name}/append", s.compute("/v1/streams/append", s.handleStreamAppend))
 	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleRemoveDataset)
 	s.mux.HandleFunc("POST /v1/sample", s.compute("/v1/sample", s.handleSample))
 	s.mux.HandleFunc("POST /v1/cluster", s.compute("/v1/cluster", s.handleCluster))
@@ -398,6 +399,9 @@ func (s *Server) handleAppend(ctx context.Context, rec *obs.Recorder, w http.Res
 		return
 	}
 	gen := app.Generation()
+	// Keep stream watermarks fresh when a stream is appended through the
+	// plain endpoint (no-op for non-stream datasets).
+	s.markAppend(name, gen, false)
 	// One pass over the delta: the fingerprint memo extends its digest
 	// state instead of rehashing the prefix.
 	fp, ferr := h.FingerprintAt(gen)
@@ -473,6 +477,14 @@ func seedStreams(seed uint64) (estRNG, drawRNG *stats.RNG) {
 // restarted mid-lineage, schedules the same way. With DriftTol ≤ 0 (the
 // default) everything is exact and incremental builds never run.
 func (s *Server) exactAt(h *Handle, g uint64) bool {
+	if h.Windowed() {
+		// A windowed generation's rows are not a superset of the prior
+		// generation's (eviction dropped the front), so the extend path
+		// does not apply; windows always build exactly — which is what
+		// makes a windowed response byte-identical to the same rows
+		// registered fresh.
+		return true
+	}
 	if g == 0 || h.Appendable() == nil || s.cfg.DriftTol <= 0 {
 		return true
 	}
@@ -732,7 +744,9 @@ func (s *Server) sampleAt(ctx context.Context, rec *obs.Recorder, h *Handle, q s
 		var size int64
 		var berr error
 		switch {
-		case s.coord != nil && !q.OnePass:
+		// Windowed handles stay local: the shard executor resolves views
+		// by generation and would scan the unwindowed rows.
+		case s.coord != nil && !q.OnePass && !h.Windowed():
 			built, size, berr = s.buildSampleSharded(ctx, rec, h, q, p, g)
 		case q.OnePass || s.exactAt(h, g):
 			built, size, berr = s.buildSample(ctx, rec, h, q, p, g)
@@ -993,6 +1007,18 @@ func (s *Server) acquireTraced(ctx context.Context, name string) (*Handle, error
 			note += " error"
 		}
 		tr.Add("registry/acquire", t0, tr.Now(), 0, note)
+	}
+	if err == nil {
+		// Stream datasets compute over their sliding window: the handle
+		// resolves it once here and every downstream view, fingerprint,
+		// and cache key covers exactly the window's rows. Append paths
+		// are unaffected — the window binds to the pinned generation
+		// only, and appends create a later one.
+		if werr := s.applyWindow(h); werr != nil {
+			h.Release()
+			return nil, werr
+		}
+		traceWindow(ctx, h)
 	}
 	return h, err
 }

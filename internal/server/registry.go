@@ -121,6 +121,18 @@ type Handle struct {
 	ds  dataset.Dataset    // generation-pinned view (or the raw dataset)
 	gen uint64             // pinned generation; 0 for non-appendable
 	app dataset.Appendable // nil when the dataset cannot grow
+	win *handleWindow      // sliding-window restriction, nil when unwindowed
+}
+
+// handleWindow restricts a handle's pinned generation to the index range
+// [start, end): the view the compute paths scan and the fingerprint they
+// cache-key by both cover exactly the window's rows. The fingerprint is
+// content-addressed (dataset.Fingerprint over the window view), so a
+// windowed sample shares cache keys — and response bytes — with the same
+// points registered as a fresh dataset.
+type handleWindow struct {
+	start, end int
+	fp         func() (uint64, error) // lazy, memoized by the owner
 }
 
 // Acquire resolves name, lazily opening path-backed entries, and returns a
@@ -183,12 +195,49 @@ func (h *Handle) GenLen(g uint64) int {
 	return h.app.GenLen(g)
 }
 
-// ViewAt returns a frozen view of generation g ≤ the pinned one.
+// ApplyWindow restricts the handle's pinned generation to [start, end).
+// fp lazily supplies the window's content fingerprint (the caller
+// memoizes it). Only the serving layer's window logic calls this, once,
+// right after Acquire.
+func (h *Handle) ApplyWindow(start, end int, fp func() (uint64, error)) error {
+	if h.app == nil {
+		return fmt.Errorf("server: dataset %q is not appendable; cannot window", h.e.name)
+	}
+	if start < 0 || end <= start || end > h.GenLen(h.gen) {
+		return fmt.Errorf("server: window [%d, %d) out of generation %d's [0, %d)",
+			start, end, h.gen, h.GenLen(h.gen))
+	}
+	view, err := dataset.Window(h.app, start, end)
+	if err != nil {
+		return err
+	}
+	h.ds = view // Dataset() sees the window too
+	h.win = &handleWindow{start: start, end: end, fp: fp}
+	return nil
+}
+
+// Windowed reports whether the handle is restricted to a sliding window.
+func (h *Handle) Windowed() bool { return h.win != nil }
+
+// WindowRange returns the window's [start, end) over the pinned
+// generation; (0, GenLen) when unwindowed.
+func (h *Handle) WindowRange() (start, end int) {
+	if h.win == nil {
+		return 0, h.GenLen(h.gen)
+	}
+	return h.win.start, h.win.end
+}
+
+// ViewAt returns a frozen view of generation g ≤ the pinned one. A
+// windowed handle's pinned generation resolves to the window's rows only.
 func (h *Handle) ViewAt(g uint64) (dataset.Dataset, error) {
 	if h.app == nil {
 		if g != 0 {
 			return nil, fmt.Errorf("server: dataset %q has no generation %d", h.e.name, g)
 		}
+		return h.ds, nil
+	}
+	if h.win != nil && g == h.gen {
 		return h.ds, nil
 	}
 	return dataset.GenView(h.app, g)
@@ -214,6 +263,9 @@ func (h *Handle) Fingerprint() (uint64, error) { return h.FingerprintAt(h.gen) }
 // pass) and cached for the entry's lifetime, which is sound because the
 // contents can never change.
 func (h *Handle) FingerprintAt(g uint64) (uint64, error) {
+	if h.win != nil && g == h.gen {
+		return h.win.fp()
+	}
 	if h.app != nil {
 		return h.app.GenFingerprint(g, h.r.parallelism)
 	}

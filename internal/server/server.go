@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -208,6 +209,21 @@ type Config struct {
 	// naming any other shard are rejected. Workers without it accept any
 	// shard name (the in-process mode and single-purpose test workers).
 	ShardOf string
+
+	// WindowPoints restricts compute over stream datasets (those fed
+	// through /v1/streams/{name}/append) to their most recent N points:
+	// each request resolves a concrete [start, end) window over its
+	// pinned generation and both scans and cache keys cover exactly
+	// those rows. The window fingerprint is content-addressed, so a
+	// windowed response is bit-identical to the same rows registered as
+	// a fresh dataset. 0 leaves streams unwindowed by count.
+	WindowPoints int
+	// WindowDur restricts stream datasets to the generations appended
+	// within the duration — generation-granular: a generation is either
+	// fully in or fully out, and the newest generation is always kept.
+	// Combined with WindowPoints, the tighter bound wins. 0 leaves
+	// streams unwindowed by age.
+	WindowDur time.Duration
 }
 
 // tracingEnabled reports whether requests collect traces: any consumer
@@ -292,6 +308,13 @@ type Server struct {
 	// mounted, so any server can serve as a worker).
 	coord   *shard.Coordinator
 	shardEx *shardExecutor
+
+	// Stream bookkeeping for sliding windows: per-stream generation
+	// append times (duration windows) and memoized window fingerprints.
+	// nowFn is the clock duration windows read; tests pin it.
+	streamMu sync.Mutex
+	streams  map[string]*streamState
+	nowFn    func() time.Time
 }
 
 // New builds a Server from cfg.
@@ -317,6 +340,8 @@ func New(cfg Config) *Server {
 		traces:       trace.NewRing(cfg.TraceRing),
 		slowTrace:    trace.NewRing(cfg.TraceRing),
 		traceOn:      cfg.tracingEnabled(),
+		streams:      make(map[string]*streamState),
+		nowFn:        time.Now,
 	}
 	if cfg.AccessLog != nil {
 		s.accessLog = &accessLogger{w: cfg.AccessLog}
@@ -484,7 +509,13 @@ func (s *Server) syncShedCounters() {
 func (s *Server) retryAfterHint(q float64, fallbackSecs int64) string {
 	secs := fallbackSecs
 	if h := s.rec.Histogram(HistQueueSeconds); h.Count() > 0 {
-		secs = int64(math.Ceil(h.Quantile(q)))
+		// Guard the quantile before trusting it: a cold or degenerate
+		// histogram must fall back, never emit Retry-After: 0 or NaN
+		// (clients parse the header as an integer; a malformed value
+		// disables their back-off entirely).
+		if v := h.Quantile(q); !math.IsNaN(v) && !math.IsInf(v, 0) {
+			secs = int64(math.Ceil(v))
+		}
 	}
 	if secs < 1 {
 		secs = 1

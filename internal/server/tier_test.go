@@ -367,3 +367,67 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestRetryAfterColdStart is the cold-start audit for the hint: with a
+// completely empty server_queue_seconds histogram (no request has ever
+// completed, let alone queued), both the 429 and the 503 paths must fall
+// back to their fixed hints — a parseable integer ≥ 1, never "0", "NaN",
+// or an empty header.
+func TestRetryAfterColdStart(t *testing.T) {
+	// 429 side: queue disabled, the single slot occupied out-of-band.
+	srv, ts, _ := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: -1, Deadline: 5 * time.Second}, 100)
+	if h := srv.rec.Histogram(HistQueueSeconds); h.Count() != 0 {
+		t.Fatalf("queue histogram pre-seeded with %d observations", h.Count())
+	}
+	release, err := srv.adm.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/sample", sampleBody)
+	release()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	checkColdHint(t, "429", resp.Header.Get("Retry-After"))
+
+	// 503 side: a queued request whose deadline expires before any
+	// completion has been observed.
+	srv2, ts2, _ := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 4, Deadline: 60 * time.Millisecond}, 100)
+	release2, err := srv2.adm.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, _ := postJSON(t, ts2.URL+"/v1/sample", sampleBody)
+	release2()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp2.StatusCode)
+	}
+	checkColdHint(t, "503", resp2.Header.Get("Retry-After"))
+
+	// The hint derivation itself, straight against an empty histogram at
+	// both quantiles, including a pathological fallback of 0: the clamp
+	// floor must hold.
+	for _, q := range []float64{0.50, 0.99} {
+		for _, fb := range []int64{0, 1, 5} {
+			got := srv.retryAfterHint(q, fb)
+			n, err := strconv.ParseInt(got, 10, 64)
+			if err != nil || n < 1 || n > 30 {
+				t.Errorf("retryAfterHint(%v, %d) over empty histogram = %q, want integer in [1,30]", q, fb, got)
+			}
+		}
+	}
+}
+
+func checkColdHint(t *testing.T, status, got string) {
+	t.Helper()
+	if got == "" {
+		t.Fatalf("cold-start %s carries no Retry-After", status)
+	}
+	n, err := strconv.ParseInt(got, 10, 64)
+	if err != nil {
+		t.Fatalf("cold-start %s Retry-After = %q, not an integer", status, got)
+	}
+	if n < 1 {
+		t.Errorf("cold-start %s Retry-After = %d, want ≥ 1", status, n)
+	}
+}

@@ -1,0 +1,308 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// Options configure the sketch-backed estimator.
+type Options struct {
+	// CellsPerDim is the grid resolution g per shifted grid. Default 64.
+	CellsPerDim int
+
+	// Width is the counter width of EACH shift's sketch. Default is
+	// 1<<14 divided by the number of shifts, so the total counter budget
+	// is matched whether the estimator runs one grid or several.
+	Width int
+
+	// Depth is the number of sketch rows. Default 4.
+	Depth int
+
+	// Shifts is the number of offset grids averaged per density query
+	// (Wells & Ting's averaged shifted histograms): grid s is offset by
+	// s/Shifts of a cell width along every dimension, and Density is the
+	// mean of the per-grid cell counts over the cell volume. 1 (the
+	// default for New) is a plain single-grid sketch; NewASG defaults
+	// to 4.
+	Shifts int
+
+	// ProbesPerGen is the reservoir size kept per observed generation —
+	// the estimator's probe points, exposed as Centers for floor
+	// selection and used by NormEstimate. Default 32.
+	ProbesPerGen int
+
+	// Seed drives the sketch row hashes and probe reservoirs.
+	Seed uint64
+}
+
+func (o Options) withDefaults(asg bool) Options {
+	if o.CellsPerDim == 0 {
+		o.CellsPerDim = 64
+	}
+	if o.Shifts == 0 {
+		if asg {
+			o.Shifts = 4
+		} else {
+			o.Shifts = 1
+		}
+	}
+	if o.Width == 0 {
+		o.Width = (1 << 14) / o.Shifts
+	}
+	if o.Depth == 0 {
+		o.Depth = 4
+	}
+	if o.ProbesPerGen == 0 {
+		o.ProbesPerGen = 32
+	}
+	return o
+}
+
+// generation is the bookkeeping for one Observe batch: its size and a
+// fixed-size probe reservoir. Probes are dropped with the generation on
+// eviction, so estimator memory stays O(sketch + live generations), never
+// O(stream length).
+type generation struct {
+	count  int
+	probes []geom.Point
+	seen   int
+}
+
+// Estimator estimates point density from Count-Min sketches of grid-cell
+// occupancy, maintained incrementally: Observe folds a batch in, and
+// EvictOldest removes the oldest batch exactly (linear sketch rows make
+// removal an exact inverse). Densities are absolute cell counts over cell
+// volume — independent of the total stream length — so the estimator's
+// NormRescale is 1: appending or evicting points leaves a surviving
+// point's density unchanged except where the occupancy of its own cell
+// changed. It satisfies internal/core's estimator interfaces
+// (DensityEstimator, Centers/N, NormRescaler) and plugs into Draw,
+// ExtendDraw, and ShrinkDraw unmodified.
+type Estimator struct {
+	domain   geom.Rect
+	d, g     int
+	shifts   int
+	sketches []*CMSketch
+	cellVol  float64
+	n        int
+	gens     []generation
+	probes   int
+	rng      *stats.RNG
+}
+
+// New returns a single-grid sketch estimator over the domain.
+func New(domain geom.Rect, opts Options) (*Estimator, error) {
+	return build(domain, opts.withDefaults(false))
+}
+
+// NewASG returns an averaged-shifted-grid estimator: Options.Shifts
+// offset grids (default 4), each with a proportionally smaller sketch so
+// the total counter budget matches New at the same Options.
+func NewASG(domain geom.Rect, opts Options) (*Estimator, error) {
+	return build(domain, opts.withDefaults(true))
+}
+
+func build(domain geom.Rect, opts Options) (*Estimator, error) {
+	d := domain.Dims()
+	if d == 0 {
+		return nil, errors.New("stream: empty domain")
+	}
+	if opts.CellsPerDim < 1 {
+		return nil, errors.New("stream: CellsPerDim must be positive")
+	}
+	if opts.Shifts < 1 {
+		return nil, errors.New("stream: Shifts must be positive")
+	}
+	vol := domain.Volume()
+	if vol <= 0 || math.IsInf(vol, 0) || math.IsNaN(vol) {
+		return nil, fmt.Errorf("stream: degenerate domain volume %v", vol)
+	}
+	e := &Estimator{
+		domain:   domain.Clone(),
+		d:        d,
+		g:        opts.CellsPerDim,
+		shifts:   opts.Shifts,
+		sketches: make([]*CMSketch, opts.Shifts),
+		cellVol:  vol / math.Pow(float64(opts.CellsPerDim), float64(d)),
+		probes:   opts.ProbesPerGen,
+		rng:      stats.NewRNG(mix64(opts.Seed ^ 0x57ea3)),
+	}
+	for s := range e.sketches {
+		sk, err := NewCMSketch(opts.Width, opts.Depth, opts.Seed+uint64(s))
+		if err != nil {
+			return nil, err
+		}
+		e.sketches[s] = sk
+	}
+	return e, nil
+}
+
+// cellKey maps p to its cell identifier under shift s: FNV-1a over the
+// per-dimension cell coordinates of the grid offset by s/shifts of a cell
+// width. Out-of-domain coordinates clamp to the boundary cells (a shifted
+// grid has g+1 cells per dimension; indices clamp to [0, g]).
+func (e *Estimator) cellKey(s int, p geom.Point) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	off := float64(s) / float64(e.shifts)
+	h := uint64(offset) ^ (uint64(s) * prime)
+	for j := 0; j < e.d; j++ {
+		side := e.domain.Side(j)
+		var c int
+		if side > 0 {
+			c = int(float64(e.g)*(p[j]-e.domain.Min[j])/side + off)
+		}
+		if c < 0 {
+			c = 0
+		}
+		if c > e.g {
+			c = e.g
+		}
+		v := uint64(c)
+		for k := 0; k < 4; k++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// Observe folds pts in as a new generation: every shift's sketch counts
+// each point's cell, and a fixed-size reservoir of the generation's points
+// is kept as probes.
+func (e *Estimator) Observe(pts []geom.Point) error {
+	gen := generation{count: len(pts)}
+	for _, p := range pts {
+		if len(p) != e.d {
+			return fmt.Errorf("stream: point has %d dims, estimator %d", len(p), e.d)
+		}
+		for s := range e.sketches {
+			e.sketches[s].Add(e.cellKey(s, p))
+		}
+		// Reservoir-sample the generation's probes.
+		if len(gen.probes) < e.probes {
+			gen.probes = append(gen.probes, p.Clone())
+		} else if j := e.rng.Intn(gen.seen + 1); j < e.probes {
+			gen.probes[j] = p.Clone()
+		}
+		gen.seen++
+	}
+	e.n += len(pts)
+	e.gens = append(e.gens, gen)
+	return nil
+}
+
+// Generations returns the number of live (observed, not yet evicted)
+// generations.
+func (e *Estimator) Generations() int { return len(e.gens) }
+
+// OldestCount returns the size of the oldest live generation, 0 when none.
+func (e *Estimator) OldestCount() int {
+	if len(e.gens) == 0 {
+		return 0
+	}
+	return e.gens[0].count
+}
+
+// EvictOldest removes the oldest generation: evicted must scan exactly the
+// points that generation observed (the caller holds them — the estimator
+// keeps only their sketch marks). Every cell key the generation added is
+// removed from every sketch — an exact inverse, because the rows are
+// linear — and the generation's probes are dropped.
+func (e *Estimator) EvictOldest(evicted dataset.Dataset) error {
+	if len(e.gens) == 0 {
+		return errors.New("stream: no generation to evict")
+	}
+	m := e.gens[0].count
+	if evicted.Len() != m {
+		return fmt.Errorf("stream: evicted view has %d points, oldest generation %d", evicted.Len(), m)
+	}
+	err := evicted.Scan(func(p geom.Point) error {
+		for s := range e.sketches {
+			e.sketches[s].Remove(e.cellKey(s, p))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	e.n -= m
+	e.gens = e.gens[1:]
+	return nil
+}
+
+// Density implements core.DensityEstimator: the mean over shifts of p's
+// cell count, divided by the cell volume. Counts are absolute occupancy,
+// so the scale does not depend on the total stream length.
+func (e *Estimator) Density(p geom.Point) float64 {
+	var sum int64
+	for s := range e.sketches {
+		sum += e.sketches[s].Count(e.cellKey(s, p))
+	}
+	return float64(sum) / (float64(e.shifts) * e.cellVol)
+}
+
+// Centers exposes the live probe points (concatenated across generations)
+// so core's floor selection and norm bootstrapping see representative
+// data locations.
+func (e *Estimator) Centers() []geom.Point {
+	var out []geom.Point
+	for _, g := range e.gens {
+		out = append(out, g.probes...)
+	}
+	return out
+}
+
+// N reports the number of live (observed minus evicted) points.
+func (e *Estimator) N() int { return e.n }
+
+// NormRescale implements core.NormRescaler: sketch densities are absolute
+// counts, so extending or shrinking the window does not rescale a
+// surviving point's density — s = 1 exactly.
+func (e *Estimator) NormRescale(priorN, priorKernels int) float64 { return 1 }
+
+// NormEstimate estimates the normalizer k_a = Σ f(x)^a over the live
+// window from the probe reservoirs alone — no data pass: each
+// generation's mean probe mass is scaled by the generation's size.
+// Densities below floor are floored before exponentiation, mirroring
+// core's handling.
+func (e *Estimator) NormEstimate(alpha, floor float64) float64 {
+	var total float64
+	for _, g := range e.gens {
+		if len(g.probes) == 0 {
+			continue
+		}
+		var sum float64
+		for _, p := range g.probes {
+			f := e.Density(p)
+			if f < floor {
+				f = floor
+			}
+			sum += math.Pow(f, alpha)
+		}
+		total += float64(g.count) * sum / float64(len(g.probes))
+	}
+	return total
+}
+
+// Bytes reports the estimator's counter memory plus live probe storage —
+// O(width × depth + generations × probes), independent of how many points
+// have streamed through.
+func (e *Estimator) Bytes() int {
+	b := 0
+	for _, sk := range e.sketches {
+		b += sk.Bytes()
+	}
+	for _, g := range e.gens {
+		b += len(g.probes) * e.d * 8
+	}
+	return b
+}

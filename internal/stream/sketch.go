@@ -1,0 +1,97 @@
+// Package stream provides bounded-memory density estimation over growing
+// and sliding-window datasets: a Count-Min sketch of grid-cell occupancy
+// (optionally averaged over shifted grids, after Wells & Ting's averaged
+// shifted histograms) that maintains cell counts, the density field f, and
+// the normalizer k_a in one pass with O(width × depth) memory — and a
+// windowed sampler that keeps a density-biased sample live over the most
+// recent points by extending on append (core.ExtendDraw) and shrinking on
+// eviction (core.ShrinkDraw), with drift-scheduled exact rebuilds.
+package stream
+
+import "fmt"
+
+// CMSketch is a Count-Min sketch over uint64 keys with plain linear
+// updates — deliberately NOT the conservative-update variant. Linear rows
+// make Remove an exact inverse of Add: removing exactly the keys
+// previously added returns every counter to its prior state, which the
+// sliding-window estimator relies on when it evicts a generation.
+// Count reads the minimum over rows (clamped at zero), so estimates
+// overshoot only by hash collisions, never undershoot.
+type CMSketch struct {
+	width, depth int
+	rows         [][]int64
+	seeds        []uint64
+}
+
+// NewCMSketch returns a sketch of depth rows × width counters. The row
+// seeds derive deterministically from seed, so two sketches built with the
+// same shape and seed are interchangeable.
+func NewCMSketch(width, depth int, seed uint64) (*CMSketch, error) {
+	if width < 1 || depth < 1 {
+		return nil, fmt.Errorf("stream: sketch shape %dx%d invalid", width, depth)
+	}
+	s := &CMSketch{
+		width: width,
+		depth: depth,
+		rows:  make([][]int64, depth),
+		seeds: make([]uint64, depth),
+	}
+	x := seed
+	for r := 0; r < depth; r++ {
+		s.rows[r] = make([]int64, width)
+		x += 0x9e3779b97f4a7c15
+		s.seeds[r] = mix64(x)
+	}
+	return s, nil
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection
+// used for row hashing and per-step seed derivation.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (s *CMSketch) pos(row int, key uint64) int {
+	return int(mix64(key^s.seeds[row]) % uint64(s.width))
+}
+
+// Add increments key's counter in every row.
+func (s *CMSketch) Add(key uint64) {
+	for r := 0; r < s.depth; r++ {
+		s.rows[r][s.pos(r, key)]++
+	}
+}
+
+// Remove decrements key's counter in every row — the exact inverse of a
+// prior Add of the same key. Removing a key that was never added skews the
+// sketch; callers must only remove observed keys.
+func (s *CMSketch) Remove(key uint64) {
+	for r := 0; r < s.depth; r++ {
+		s.rows[r][s.pos(r, key)]--
+	}
+}
+
+// Count estimates key's multiplicity: the minimum over rows, clamped at
+// zero. Never an undercount of the true multiplicity when only observed
+// keys have been removed.
+func (s *CMSketch) Count(key uint64) int64 {
+	min := s.rows[0][s.pos(0, key)]
+	for r := 1; r < s.depth; r++ {
+		if c := s.rows[r][s.pos(r, key)]; c < min {
+			min = c
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// Bytes reports the counter memory: 8 bytes × width × depth, independent
+// of how many keys have been added.
+func (s *CMSketch) Bytes() int { return 8 * s.width * s.depth }

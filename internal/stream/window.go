@@ -1,0 +1,253 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// WindowedOptions configure the sliding-window sampler.
+type WindowedOptions struct {
+	// Alpha is the bias exponent a of the density-biased sample.
+	Alpha float64
+
+	// TargetSize is the expected sample size b. Required.
+	TargetSize int
+
+	// WindowPoints bounds the live window: after each append, whole
+	// generations are evicted from the front while the window would stay
+	// at least this long without them — the smallest generation suffix
+	// covering the window. 0 means unbounded (grow-only).
+	WindowPoints int
+
+	// RebuildTol is the accumulated-drift budget: when the incremental
+	// lineage's Σ m/n crosses it, the next maintenance step redraws the
+	// sample exactly (core.RebuildSchedule's criterion applied online).
+	// Default 0.25.
+	RebuildTol float64
+
+	// Parallelism is the worker budget for draws (0 = all cores).
+	// Results are bit-identical at every setting.
+	Parallelism int
+
+	// Seed derives one independent RNG stream per maintenance step, so a
+	// step's draw depends on the schedule position, not on how many
+	// random values earlier steps consumed.
+	Seed uint64
+}
+
+// Windowed maintains a density-biased sample over the most recent points
+// of a stream with incremental maintenance: each Append extends the sample
+// over the delta (core.ExtendDraw), evictions shrink it by subtracting the
+// evicted mass from the normalizer (core.ShrinkDraw — the inverse of the
+// extend delta math), and accumulated drift schedules exact rebuilds. The
+// backing dataset keeps the full stream (it is the caller's storage); the
+// estimator and the sample stay bounded.
+type Windowed struct {
+	opts  WindowedOptions
+	est   *Estimator
+	ds    *dataset.InMemory
+	start int // absolute index of the window's first live point
+	smp   *core.Sample
+	ns    core.NormState
+
+	step     uint64
+	rebuilds int
+	shrinks  int
+}
+
+// NewWindowed wraps est (which must be empty — no observed generations)
+// in a sliding-window sampler.
+func NewWindowed(est *Estimator, opts WindowedOptions) (*Windowed, error) {
+	if est == nil {
+		return nil, errors.New("stream: nil estimator")
+	}
+	if est.Generations() != 0 {
+		return nil, errors.New("stream: estimator already holds generations")
+	}
+	if opts.TargetSize <= 0 {
+		return nil, errors.New("stream: TargetSize must be positive")
+	}
+	if opts.RebuildTol == 0 {
+		opts.RebuildTol = 0.25
+	}
+	if opts.RebuildTol < 0 {
+		return nil, errors.New("stream: negative RebuildTol")
+	}
+	return &Windowed{opts: opts, est: est}, nil
+}
+
+// rngAt returns the RNG stream for maintenance step s: derived from the
+// seed and the step index alone, so replaying the same append schedule
+// replays the same draws bit-for-bit.
+func (w *Windowed) rngAt(s uint64) *stats.RNG {
+	return stats.NewRNG(mix64(w.opts.Seed ^ (s * 0x9e3779b97f4a7c15)))
+}
+
+// Append folds a batch into the stream as one generation and runs the
+// maintenance cycle: observe, extend the sample over the delta, evict
+// whole generations that fell out of the window (shrinking the sample and
+// its normalizer exactly), and redraw from scratch when drift crosses the
+// budget.
+func (w *Windowed) Append(pts []geom.Point) error {
+	if len(pts) == 0 {
+		return errors.New("stream: empty append")
+	}
+	w.step++
+	if w.ds == nil {
+		ds, err := dataset.NewInMemory(pts)
+		if err != nil {
+			return err
+		}
+		w.ds = ds
+	} else if err := w.ds.Append(pts...); err != nil {
+		return err
+	}
+	if err := w.est.Observe(pts); err != nil {
+		return err
+	}
+
+	if w.smp == nil {
+		// First batch: bootstrap with an exact draw.
+		return w.rebuild()
+	}
+
+	// Extend over the delta.
+	view, err := w.view()
+	if err != nil {
+		return err
+	}
+	smp, ns, err := core.ExtendDraw(view, w.est, core.ExtendOptions{
+		Options: core.Options{
+			Alpha:       w.opts.Alpha,
+			TargetSize:  w.opts.TargetSize,
+			Parallelism: w.opts.Parallelism,
+		},
+		DeltaStart: w.ns.N,
+		Prior:      w.smp,
+		PriorNorm:  w.ns,
+	}, w.rngAt(w.step))
+	if err != nil {
+		return fmt.Errorf("stream: extend: %w", err)
+	}
+	w.smp, w.ns = smp, ns
+
+	if err := w.evict(); err != nil {
+		return err
+	}
+	if w.ns.Drift > w.opts.RebuildTol {
+		return w.rebuild()
+	}
+	return nil
+}
+
+// evict drops whole generations from the front while the window stays at
+// least WindowPoints long without them, shrinking the sample per evicted
+// generation.
+func (w *Windowed) evict() error {
+	if w.opts.WindowPoints <= 0 {
+		return nil
+	}
+	for {
+		m := w.est.OldestCount()
+		if m == 0 || w.Len()-m < w.opts.WindowPoints {
+			return nil
+		}
+		evicted, err := dataset.Window(w.ds, w.start, w.start+m)
+		if err != nil {
+			return err
+		}
+		// The estimator forgets the generation first: ShrinkDraw
+		// subtracts the evicted mass measured against the post-eviction
+		// density field.
+		if err := w.est.EvictOldest(evicted); err != nil {
+			return err
+		}
+		smp, ns, err := core.ShrinkDraw(evicted, w.est, core.ShrinkOptions{
+			Options: core.Options{
+				Alpha:       w.opts.Alpha,
+				Parallelism: w.opts.Parallelism,
+			},
+			EvictCount: m,
+			Prior:      w.smp,
+			PriorNorm:  w.ns,
+		})
+		if err != nil {
+			return fmt.Errorf("stream: shrink: %w", err)
+		}
+		w.smp, w.ns = smp, ns
+		w.start += m
+		w.shrinks++
+	}
+}
+
+// rebuild redraws the sample exactly over the current window and resets
+// drift.
+func (w *Windowed) rebuild() error {
+	view, err := w.view()
+	if err != nil {
+		return err
+	}
+	// The high bit separates rebuild streams from the same step's extend
+	// stream (step counters never get near 2^63).
+	smp, err := core.Draw(view, w.est, core.Options{
+		Alpha:       w.opts.Alpha,
+		TargetSize:  w.opts.TargetSize,
+		Parallelism: w.opts.Parallelism,
+	}, w.rngAt(w.step|1<<63))
+	if err != nil {
+		return fmt.Errorf("stream: rebuild: %w", err)
+	}
+	w.smp = smp
+	w.ns = core.NormState{
+		K:       smp.Norm,
+		N:       view.Len(),
+		Kernels: len(w.est.Centers()),
+	}
+	w.rebuilds++
+	return nil
+}
+
+// view returns the dataset view of the live window.
+func (w *Windowed) view() (dataset.Dataset, error) {
+	return dataset.Window(w.ds, w.start, w.ds.Len())
+}
+
+// Sample returns the current sample (window-relative indices).
+func (w *Windowed) Sample() *core.Sample { return w.smp }
+
+// Norm returns the lineage's normalizer state.
+func (w *Windowed) Norm() core.NormState { return w.ns }
+
+// Len returns the live window length.
+func (w *Windowed) Len() int {
+	if w.ds == nil {
+		return 0
+	}
+	return w.ds.Len() - w.start
+}
+
+// Start returns the absolute stream index of the window's first point.
+func (w *Windowed) Start() int { return w.start }
+
+// Window returns the dataset view of the live window.
+func (w *Windowed) Window() (dataset.Dataset, error) {
+	if w.ds == nil {
+		return nil, errors.New("stream: no points appended")
+	}
+	return w.view()
+}
+
+// Estimator returns the backing estimator.
+func (w *Windowed) Estimator() *Estimator { return w.est }
+
+// Rebuilds returns how many exact rebuilds have run (≥ 1 once any points
+// arrived: the bootstrap draw counts).
+func (w *Windowed) Rebuilds() int { return w.rebuilds }
+
+// Shrinks returns how many generation evictions have shrunk the sample.
+func (w *Windowed) Shrinks() int { return w.shrinks }

@@ -13,7 +13,7 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/... ./internal/faults/... ./internal/server/... ./internal/dataset/... ./internal/trace/... ./internal/shard/... ./internal/loadgen/...
+go test -race ./internal/parallel/... ./internal/core/... ./internal/kde/... ./internal/obs/... ./internal/faults/... ./internal/server/... ./internal/dataset/... ./internal/trace/... ./internal/shard/... ./internal/loadgen/... ./internal/stream/...
 # Chaos smoke: the seeded fault-injection suite in short mode (12 seeds) —
 # goroutine leaks, admission slot leaks, cache accounting drift, and any
 # fault-corrupted response fail this line fast; the full 60-seed sweep
@@ -29,6 +29,13 @@ go test -race -run 'Chaos|Append' -short ./internal/server/
 # partial faults: exact bytes via replica fallback or a loud 503, never
 # a silently wrong merge) under the race detector.
 go test -race -run 'Chaos|Shard' -short ./internal/server/
+# Streaming smoke: the sliding-window suite — window-evict determinism
+# (windowed /v1/sample byte-identical to registering the window's rows
+# fresh, workers 1 and 8), window-pinned cache keys across appends, the
+# duration window's fake-clock aging, the CM-sketch exact-remove and
+# bounded-memory invariants, and the mmap window pin lifetime — under
+# the race detector.
+go test -race -run 'Stream|Window' -short ./internal/server/ ./internal/stream/ ./internal/dataset/
 # Multi-tenant admission smoke: the weighted-fair queue (starvation,
 # weighted share, per-tenant caps, priority preemption), the degrade
 # ladder, the disk artifact tier's restart survival, the Retry-After
